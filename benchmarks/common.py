@@ -1,0 +1,42 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  Runtime is
+controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``quick`` (default) — reduced repetition counts; each bench finishes in
+  seconds to a few minutes and already shows the paper's qualitative shape;
+* ``full`` — paper-scale repetition counts for the statistics benches.
+
+Benches print their tables/series to stdout (run pytest with ``-s`` to see
+them live; EXPERIMENTS.md quotes representative output) and also append them
+to ``benchmarks/out/<bench>.txt`` so results survive the pytest capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: Chip used throughout the evaluation (Sec. VII-B simulates the fabricated
+#: 30x60-MC device; we orient it 60 wide x 30 tall as in Fig. 8's coordinate
+#: convention).
+CHIP_WIDTH = 60
+CHIP_HEIGHT = 30
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def scaled(quick: int, full: int) -> int:
+    """Pick a repetition count for the current scale."""
+    return full if SCALE == "full" else quick
+
+
+def emit(bench_name: str, text: str) -> None:
+    """Print a result block and persist it under ``benchmarks/out/``."""
+    print()
+    print(text)
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{bench_name}.txt"
+    path.write_text(text + "\n")

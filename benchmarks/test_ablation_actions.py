@@ -1,0 +1,102 @@
+"""Ablation — which microfluidic action families earn their keep?
+
+Synthesizes the same routing job with progressively richer action sets
+(cardinal only → + ordinal → + double-step → + morphing) and reports the
+expected completion cycles and model sizes.  This quantifies the design
+choice behind the paper's 20-action repertoire (Sec. V-B): ordinal moves
+buy diagonal progress, double steps speed long straights for large
+droplets, and morphing lets droplets squeeze past degraded regions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.actions import ActionClass
+from repro.core.routing_job import RoutingJob
+from repro.core.synthesis import force_field_from_health, synthesize_with_field
+from repro.geometry.rect import Rect
+
+from benchmarks.common import emit
+
+FAMILY_SETS = [
+    ("cardinal", (ActionClass.CARDINAL,)),
+    ("+ordinal", (ActionClass.CARDINAL, ActionClass.ORDINAL)),
+    ("+double", (ActionClass.CARDINAL, ActionClass.ORDINAL, ActionClass.DOUBLE)),
+    ("+morphing", None),  # all five families
+]
+
+W, H = 40, 30
+
+
+def _diagonal_job() -> RoutingJob:
+    return RoutingJob(Rect(2, 2, 5, 5), Rect(32, 22, 35, 25), Rect(1, 1, 38, 28))
+
+
+def _narrow_gap_case() -> tuple[RoutingJob, np.ndarray]:
+    """A 5-wide dead wall with a 2-MC gap.
+
+    A 4x4 droplet can only drag 2 of its 4 frontier cells through the gap
+    (halving every crossing step's success probability for five columns);
+    reshaping to 5x3 aligns more frontier with the healthy rows, so morphing
+    buys a measurably faster route.
+    """
+    health = np.full((W, H), 3)
+    health[18:23, :] = 0
+    health[18:23, 10:12] = 3  # 2-cell gap at y = 11..12
+    job = RoutingJob(Rect(2, 9, 5, 12), Rect(32, 9, 35, 12), Rect(1, 1, 38, 28))
+    return job, health
+
+
+def test_ablation_action_families(benchmark):
+    health_full = np.full((W, H), 3)
+    rows = []
+    diag_cycles = {}
+    for label, families in FAMILY_SETS:
+        result = synthesize_with_field(
+            _diagonal_job(), force_field_from_health(health_full),
+            families=families,
+        )
+        diag_cycles[label] = result.expected_cycles
+        rows.append([
+            "diagonal 30x20", label,
+            f"{result.expected_cycles:.2f}" if result.exists else "no route",
+            result.model.num_states, result.model.num_choices,
+        ])
+
+    gap_job, gap_health = _narrow_gap_case()
+    gap_cycles = {}
+    for label, families in FAMILY_SETS:
+        result = synthesize_with_field(
+            gap_job, force_field_from_health(gap_health), families=families,
+        )
+        gap_cycles[label] = result.expected_cycles
+        rows.append([
+            "2-cell wall gap", label,
+            f"{result.expected_cycles:.2f}" if result.exists else "no route",
+            result.model.num_states, result.model.num_choices,
+        ])
+    emit(
+        "ablation_actions",
+        format_table(
+            ["scenario", "action set", "E[cycles]", "#states", "#choices"],
+            rows,
+            title="Ablation — action families (full-health estimate field)",
+        ),
+    )
+
+    # Ordinal moves dominate cardinal-only on diagonal routes.
+    assert diag_cycles["+ordinal"] < diag_cycles["cardinal"] * 0.8
+    # Double steps help once the droplet is long enough (w = 4 here).
+    assert diag_cycles["+double"] <= diag_cycles["+ordinal"] + 1e-6
+    # Morphing strictly improves the narrow-gap crossing (the droplet
+    # reshapes to align its frontier with the healthy rows).
+    assert gap_cycles["+morphing"] < gap_cycles["+double"] - 0.5
+
+    benchmark(
+        lambda: synthesize_with_field(
+            _diagonal_job(), force_field_from_health(health_full),
+            families=(ActionClass.CARDINAL, ActionClass.ORDINAL),
+        )
+    )

@@ -1,0 +1,115 @@
+"""Ablation — health-to-force estimators and sensor resolution.
+
+The controller reconstructs per-MC forces from the quantized health code.
+This bench compares, on a half-degraded chip:
+
+* the mid-bucket estimator (library default) vs the pessimistic bucket
+  floor, against an oracle that sees the true degradation;
+* 2-bit vs 3-bit health sensing (the paper's model is valid for any b;
+  Sec. IV-B) — more bits mean a sharper force estimate and routes closer
+  to the oracle's.
+
+Reported: planned expected cycles and *realized* mean cycles over simulated
+roll-outs with the true hidden forces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.actions import ACTIONS
+from repro.core.routing_job import RoutingJob
+from repro.core.synthesis import (
+    force_field_from_degradation,
+    synthesize,
+    synthesize_with_field,
+)
+from repro.core.transitions import MatrixForceField, sample_outcome
+from repro.degradation.model import quantize_health
+from repro.geometry.rect import Rect
+
+from benchmarks.common import emit, scaled
+
+W, H = 40, 24
+
+
+def _degraded_chip(rng: np.random.Generator) -> np.ndarray:
+    """True degradation: healthy north half, badly worn south corridor."""
+    d = rng.uniform(0.75, 1.0, size=(W, H))
+    d[10:30, 2:10] = rng.uniform(0.15, 0.45, size=(20, 8))
+    return d
+
+
+def _job() -> RoutingJob:
+    return RoutingJob(Rect(2, 4, 5, 7), Rect(34, 4, 37, 7), Rect(1, 1, 40, 22))
+
+
+def _rollout(strategy, job, degradation, rng, cap=600) -> int:
+    field = MatrixForceField(degradation**2)
+    delta = job.start
+    for k in range(cap):
+        if job.goal.contains(delta):
+            return k
+        action = strategy.action(delta)
+        if action is None:
+            return cap
+        delta = sample_outcome(delta, ACTIONS[action], field, rng).delta
+    return cap
+
+
+def test_ablation_health_estimators(benchmark):
+    rng = np.random.default_rng(0)
+    degradation = _degraded_chip(rng)
+    job = _job()
+    rollouts = scaled(40, 200)
+
+    variants = []
+    for bits in (2, 3):
+        health = np.asarray(quantize_health(degradation, bits=bits))
+        variants.append((
+            f"mid-bucket b={bits}",
+            synthesize(job, health, bits=bits),
+        ))
+        variants.append((
+            f"pessimistic b={bits}",
+            synthesize(job, health, bits=bits, pessimistic=True),
+        ))
+    variants.append((
+        "oracle (true D)",
+        synthesize_with_field(job, force_field_from_degradation(degradation)),
+    ))
+
+    rows = []
+    realized = {}
+    for label, result in variants:
+        assert result.exists, label
+        roll_rng = np.random.default_rng(99)
+        cycles = [
+            _rollout(result.strategy, job, degradation, roll_rng)
+            for _ in range(rollouts)
+        ]
+        realized[label] = float(np.mean(cycles))
+        rows.append([
+            label,
+            f"{result.expected_cycles:.1f}",
+            f"{realized[label]:.1f}",
+        ])
+    emit(
+        "ablation_estimator",
+        format_table(
+            ["estimator", "planned E[cycles]", "realized mean cycles"],
+            rows,
+            title="Ablation — health estimators vs the true-degradation oracle",
+        ),
+    )
+
+    # The oracle lower-bounds realized performance (within sampling noise).
+    floor = realized["oracle (true D)"]
+    for label, value in realized.items():
+        assert value >= floor - 3.0, label
+    # Sharper sensing helps: 3-bit mid-bucket is at least as good as 2-bit.
+    assert realized["mid-bucket b=3"] <= realized["mid-bucket b=2"] + 3.0
+
+    health2 = np.asarray(quantize_health(degradation, bits=2))
+    benchmark(lambda: synthesize(job, health2))

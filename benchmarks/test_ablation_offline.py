@@ -1,0 +1,77 @@
+"""Ablation — offline strategy-library pre-population (Sec. VI-D).
+
+The hybrid scheme's motivation: on-demand synthesis delays microfluidic
+operations, while an offline library built against a pristine chip absorbs
+the synthesis cost before the bioassay starts.  This bench measures, per
+bioassay, the offline precomputation time and the *online* synthesis calls
+of a first execution with a cold vs a warmed library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import run_execution
+from repro.analysis.tables import format_table
+from repro.bioassay.library import EVALUATION_BIOASSAYS
+from repro.bioassay.planner import plan
+from repro.biochip.chip import MedaChip
+from repro.core.baseline import AdaptiveRouter
+from repro.core.offline import precompute_library
+
+from benchmarks.common import CHIP_HEIGHT, CHIP_WIDTH, emit
+
+
+def _fresh_chip(seed: int) -> MedaChip:
+    return MedaChip.sample(
+        CHIP_WIDTH, CHIP_HEIGHT, np.random.default_rng(seed),
+        tau_range=(0.95, 0.99), c_range=(5000, 9000),
+    )
+
+
+def test_ablation_offline_library(benchmark):
+    rows = []
+    improvements = []
+    for name in sorted(EVALUATION_BIOASSAYS):
+        graph = plan(EVALUATION_BIOASSAYS[name](), CHIP_WIDTH, CHIP_HEIGHT)
+
+        cold = AdaptiveRouter()
+        result = run_execution(graph, _fresh_chip(1), cold,
+                               np.random.default_rng(2), 1200)
+        assert result.success
+        cold_syntheses = cold.syntheses
+
+        warm = AdaptiveRouter()
+        report = precompute_library(graph, warm, CHIP_WIDTH, CHIP_HEIGHT)
+        offline = warm.syntheses
+        result = run_execution(graph, _fresh_chip(1), warm,
+                               np.random.default_rng(2), 1200)
+        assert result.success
+        online = warm.syntheses - offline
+
+        improvements.append(cold_syntheses - online)
+        rows.append([
+            name, report.jobs, f"{report.seconds:.2f}",
+            cold_syntheses, online,
+        ])
+    emit(
+        "ablation_offline",
+        format_table(
+            ["bioassay", "routing jobs", "offline (s)",
+             "online syntheses (cold)", "online syntheses (warm)"],
+            rows,
+            title="Ablation — offline library pre-population (pristine chip)",
+        ),
+    )
+
+    # Warming the library absorbs synthesis work for every bioassay.
+    assert all(delta >= 0 for delta in improvements)
+    assert sum(improvements) > 0
+
+    graph = plan(EVALUATION_BIOASSAYS["covid-rat"](), CHIP_WIDTH, CHIP_HEIGHT)
+    benchmark.pedantic(
+        lambda: precompute_library(
+            graph, AdaptiveRouter(), CHIP_WIDTH, CHIP_HEIGHT
+        ),
+        rounds=2, iterations=1,
+    )

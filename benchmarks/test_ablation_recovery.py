@@ -1,0 +1,112 @@
+"""Ablation — proactive synthesis vs reactive error recovery vs baseline.
+
+Sec. II-C frames prior reliability work as *reactive* error recovery
+(detect an error, then correct it), while the paper's contribution is
+*proactive* (avoid degraded microelectrodes before errors occur).  This
+bench makes that comparison concrete on fault-injected chips:
+
+* **baseline** — shortest paths, no health information ever;
+* **reactive** — shortest paths plus a reroute corrective action when a
+  droplet stops making progress (Sec. II-C's retrial class);
+* **adaptive** — the paper's proactive framework.
+
+Also reports the wear-distribution Gini coefficient: the proactive router
+spreads actuations instead of hammering one corridor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.analysis.wear import wear_concentration, wear_gini
+from repro.bioassay.library import covid_pcr
+from repro.bioassay.planner import plan
+from repro.biochip.chip import MedaChip
+from repro.biochip.simulator import MedaSimulator
+from repro.core.baseline import AdaptiveRouter, BaselineRouter, ReactiveRouter
+from repro.core.scheduler import HybridScheduler
+from repro.degradation.faults import FaultInjector, FaultMode
+
+from benchmarks.common import CHIP_HEIGHT, CHIP_WIDTH, emit, scaled
+
+
+def _run_router(kind: str, runs: int, seed: int):
+    graph = plan(covid_pcr(), CHIP_WIDTH, CHIP_HEIGHT)
+    # 5x5 dead patches (>= the droplet width) create hard roadblocks a
+    # blind shortest path cannot cross — the error the reactive router
+    # exists to recover from.
+    injector = FaultInjector(FaultMode.CLUSTERED, fraction=0.10,
+                             fail_range=(1, 12), cluster_size=5)
+    rng = np.random.default_rng(seed)
+    chip = MedaChip.sample(
+        CHIP_WIDTH, CHIP_HEIGHT, rng,
+        tau_range=(0.5, 0.9), c_range=(150.0, 350.0),
+        fault_plan=injector.inject(CHIP_WIDTH, CHIP_HEIGHT, rng),
+    )
+    router = {
+        "baseline": lambda: BaselineRouter(CHIP_WIDTH, CHIP_HEIGHT),
+        "reactive": lambda: ReactiveRouter(CHIP_WIDTH, CHIP_HEIGHT),
+        "adaptive": lambda: AdaptiveRouter(),
+    }[kind]()
+    sim_rng = np.random.default_rng(seed + 1)
+    cycles = 0
+    failures = 0
+    recoveries = 0
+    for _ in range(runs):
+        scheduler = HybridScheduler(graph, router, CHIP_WIDTH, CHIP_HEIGHT,
+                                    stall_recovery_threshold=10)
+        result = MedaSimulator(chip, sim_rng).run(scheduler, 400)
+        cycles += result.cycles
+        failures += 0 if result.success else 1
+        recoveries += scheduler.recoveries
+    gini = wear_gini(chip.actuations, active_only=True)
+    top10 = wear_concentration(chip.actuations, q=0.1)
+    return cycles, failures, recoveries, gini, top10
+
+
+def test_ablation_error_recovery(benchmark):
+    runs = scaled(5, 10)
+    seeds = range(scaled(2, 5))
+    rows = []
+    totals: dict[str, tuple[int, int, int, float]] = {}
+    for kind in ("baseline", "reactive", "adaptive"):
+        cycles = failures = recoveries = 0
+        ginis = []
+        tops = []
+        for seed in seeds:
+            c, f, r, g, t = _run_router(kind, runs, seed=70 + seed)
+            cycles += c
+            failures += f
+            recoveries += r
+            ginis.append(g)
+            tops.append(t)
+        totals[kind] = (cycles, failures, recoveries, float(np.mean(ginis)))
+        rows.append([
+            kind, cycles, failures, recoveries,
+            f"{np.mean(ginis):.3f}", f"{np.mean(tops):.3f}",
+        ])
+    emit(
+        "ablation_recovery",
+        format_table(
+            ["router", "total cycles", "failed runs", "recoveries",
+             "wear Gini (active)", "top-10% wear share"],
+            rows,
+            title=(f"Ablation — proactive vs reactive vs baseline, covid-pcr x "
+                   f"{runs} runs x {len(list(seeds))} faulty chips"),
+        ),
+    )
+
+    # Proactive completes at least as reliably and cheaply as reactive,
+    # which in turn beats the blind baseline.
+    assert totals["adaptive"][1] <= totals["reactive"][1]
+    assert totals["reactive"][1] <= totals["baseline"][1]
+    assert totals["adaptive"][0] <= totals["reactive"][0] * 1.05
+    # Reactive recovery actually fires on these chips; the proactive
+    # framework never needs it.
+    assert totals["reactive"][2] > 0
+    assert totals["adaptive"][2] == 0
+
+    benchmark.pedantic(
+        lambda: _run_router("reactive", 1, seed=99), rounds=1, iterations=1
+    )

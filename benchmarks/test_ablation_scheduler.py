@@ -1,0 +1,87 @@
+"""Ablation — hybrid-scheduler resynthesis latency.
+
+The hybrid scheme (Sec. VI-D) resynthesizes asynchronously: the old
+strategy keeps driving the droplet while the new one is computed.  This
+bench sweeps the modelled resynthesis latency on a fast-degrading chip and
+reports execution cycles and the number of syntheses — the trade-off
+between reactivity and synthesis load that motivates the hybrid design.
+
+Expected shape: small latencies barely cost cycles but batch health changes
+into far fewer syntheses than instant replanning; an effectively-infinite
+latency (never replan after the first plan) degenerates toward baseline
+behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.bioassay.library import serial_dilution
+from repro.bioassay.planner import plan
+from repro.biochip.chip import MedaChip
+from repro.biochip.simulator import MedaSimulator
+from repro.core.baseline import AdaptiveRouter
+from repro.core.scheduler import HybridScheduler
+
+from benchmarks.common import CHIP_HEIGHT, CHIP_WIDTH, emit, scaled
+
+LATENCIES = (0, 4, 12, 10_000)
+
+
+def _run_with_latency(latency: int, runs: int, seed: int):
+    graph = plan(serial_dilution(), CHIP_WIDTH, CHIP_HEIGHT)
+    chip = MedaChip.sample(
+        CHIP_WIDTH, CHIP_HEIGHT, np.random.default_rng(seed),
+        tau_range=(0.5, 0.7), c_range=(80.0, 160.0),
+    )
+    router = AdaptiveRouter()
+    rng = np.random.default_rng(seed + 1)
+    total_cycles = 0
+    failures = 0
+    resyntheses = 0
+    for _ in range(runs):
+        scheduler = HybridScheduler(
+            graph, router, CHIP_WIDTH, CHIP_HEIGHT,
+            resynthesis_latency=latency,
+        )
+        result = MedaSimulator(chip, rng).run(scheduler, 800)
+        total_cycles += result.cycles
+        failures += 0 if result.success else 1
+        resyntheses += result.resyntheses
+    return total_cycles, failures, resyntheses, router.syntheses
+
+
+def test_ablation_resynthesis_latency(benchmark):
+    runs = scaled(4, 8)
+    rows = []
+    stats = {}
+    for latency in LATENCIES:
+        cycles, failures, resyntheses, syntheses = _run_with_latency(
+            latency, runs, seed=5
+        )
+        stats[latency] = (cycles, failures, resyntheses, syntheses)
+        label = str(latency) if latency < 10_000 else "never"
+        rows.append([label, cycles, failures, resyntheses, syntheses])
+    emit(
+        "ablation_scheduler",
+        format_table(
+            ["replan latency", "total cycles", "failed runs",
+             "replans", "syntheses"],
+            rows,
+            title=(f"Ablation — resynthesis latency over {runs} serial-dilution "
+                   "runs on a fast-degrading chip"),
+        ),
+    )
+
+    # Batching health changes cuts syntheses without (much) cycle cost.
+    instant = stats[0]
+    batched = stats[4]
+    assert batched[3] <= instant[3]
+    assert batched[0] <= instant[0] * 1.25
+    # Never replanning loses adaptivity: no resyntheses happen at all.
+    assert stats[10_000][2] == 0
+
+    benchmark.pedantic(
+        lambda: _run_with_latency(4, 1, seed=11), rounds=1, iterations=1
+    )

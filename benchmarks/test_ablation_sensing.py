@@ -1,0 +1,86 @@
+"""Ablation — sensing wear and selective sensing (ref. [32]).
+
+The MEDA operational cycle senses every microelectrode every cycle; the
+charge/discharge of the sense path traps charge just like (weaker)
+actuation, so full-array scanning consumes chip lifetime uniformly.  The
+paper's companion work (Liang et al., TCAD'20 — its ref. [32]) extends
+lifetime by sensing selectively.  This bench quantifies that on top of the
+adaptive router: consecutive serial-dilution runs under no / selective /
+full sensing wear, reporting cycles, failures and chip-wide stress.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.bioassay.library import serial_dilution
+from repro.bioassay.planner import plan
+from repro.biochip.chip import MedaChip
+from repro.biochip.simulator import MedaSimulator
+from repro.core.baseline import AdaptiveRouter
+from repro.core.scheduler import HybridScheduler
+
+from benchmarks.common import CHIP_HEIGHT, CHIP_WIDTH, emit, scaled
+
+POLICIES = (None, "selective", "full")
+SENSING_WEIGHT = 0.25
+
+
+def _run(policy: str | None, runs: int, seed: int):
+    graph = plan(serial_dilution(), CHIP_WIDTH, CHIP_HEIGHT)
+    chip = MedaChip.sample(
+        CHIP_WIDTH, CHIP_HEIGHT, np.random.default_rng(seed),
+        tau_range=(0.5, 0.8), c_range=(120.0, 260.0),
+    )
+    router = AdaptiveRouter()
+    rng = np.random.default_rng(seed + 1)
+    cycles = 0
+    failures = 0
+    for _ in range(runs):
+        scheduler = HybridScheduler(graph, router, CHIP_WIDTH, CHIP_HEIGHT)
+        sim = MedaSimulator(chip, rng, sensing_policy=policy,
+                            sensing_weight=SENSING_WEIGHT)
+        result = sim.run(scheduler, 700)
+        cycles += result.cycles
+        failures += 0 if result.success else 1
+    mean_health = float(chip.health().mean())
+    total_stress = float(chip.actuations.sum())
+    return cycles, failures, mean_health, total_stress
+
+
+def test_ablation_selective_sensing(benchmark):
+    runs = scaled(5, 10)
+    rows = []
+    stats = {}
+    for policy in POLICIES:
+        cycles, failures, mean_health, stress = _run(policy, runs, seed=21)
+        stats[policy] = (cycles, failures, mean_health, stress)
+        rows.append([
+            policy or "none", cycles, failures,
+            f"{mean_health:.2f}", f"{stress:.0f}",
+        ])
+    emit(
+        "ablation_sensing",
+        format_table(
+            ["sensing wear", "total cycles", "failed runs",
+             "mean health after", "total stress"],
+            rows,
+            title=(f"Ablation — sensing wear policies, serial-dilution x "
+                   f"{runs} runs (adaptive router, sensing weight "
+                   f"{SENSING_WEIGHT})"),
+        ),
+    )
+
+    # Full-array scanning stresses the chip strictly more than selective
+    # scanning, which stresses it more than ignoring sensing wear.
+    assert stats["full"][3] > stats["selective"][3] > stats[None][3]
+    # ...and leaves the chip in worse average health.
+    assert stats["full"][2] <= stats["selective"][2] + 1e-9
+    # Selective sensing preserves completion behaviour vs full scanning.
+    assert stats["selective"][1] <= stats["full"][1]
+    assert stats["selective"][0] <= stats["full"][0] * 1.1
+
+    benchmark.pedantic(
+        lambda: _run("selective", 1, seed=31), rounds=1, iterations=1
+    )

@@ -1,0 +1,100 @@
+"""Fig. 3 — actuation correlation vs Manhattan distance.
+
+Executes the three degradation-pattern bioassays (ChIP, multiplex in-vitro,
+gene expression) on a 60x30 chip for droplet sizes 3x3 through 6x6,
+recording every cycle's actuation matrix, then reports the mean pairwise
+correlation coefficient of MC actuation vectors at Manhattan distances 1-5.
+
+Paper shape: correlation falls with distance, rises with droplet size, and
+is largely insensitive to which bioassay produced it — actuation happens in
+droplet-sized clusters, so wear-induced faults cluster too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.correlation import correlation_vs_distance
+from repro.analysis.tables import format_table
+from repro.bioassay.library import PATTERN_BIOASSAYS, with_dispense_size
+from repro.bioassay.planner import plan
+from repro.biochip.chip import MedaChip
+from repro.biochip.recorder import ActuationRecorder
+from repro.biochip.simulator import MedaSimulator
+from repro.core.baseline import AdaptiveRouter
+from repro.core.scheduler import HybridScheduler
+
+from benchmarks.common import CHIP_HEIGHT, CHIP_WIDTH, emit, scaled
+
+DISTANCES = [1, 2, 3, 4, 5]
+
+
+def _record_execution(bioassay_name: str, size: int, seed: int) -> np.ndarray:
+    graph = with_dispense_size(
+        PATTERN_BIOASSAYS[bioassay_name](), (size, size)
+    )
+    graph = plan(graph, CHIP_WIDTH, CHIP_HEIGHT)
+    chip = MedaChip.sample(
+        CHIP_WIDTH, CHIP_HEIGHT, np.random.default_rng(seed),
+        tau_range=(0.95, 0.99), c_range=(5000, 9000),
+    )
+    recorder = ActuationRecorder(CHIP_WIDTH, CHIP_HEIGHT)
+    scheduler = HybridScheduler(graph, AdaptiveRouter(), CHIP_WIDTH, CHIP_HEIGHT)
+    sim = MedaSimulator(chip, np.random.default_rng(seed + 1), recorder=recorder)
+    result = sim.run(scheduler, max_cycles=1500)
+    assert result.success, f"{bioassay_name} ({size}x{size}): {result.failure_reason}"
+    return recorder.vectors()
+
+
+def test_fig3_correlation_vs_distance(benchmark):
+    sizes = [3, 4, 5, 6]
+    names = sorted(PATTERN_BIOASSAYS)
+    if scaled(0, 1) == 0:
+        names = names[: scaled(2, 3)]
+    rng = np.random.default_rng(0)
+
+    curves: dict[tuple[str, int], np.ndarray] = {}
+    for name in names:
+        for size in sizes:
+            vectors = _record_execution(name, size, seed=31 + size)
+            curve = correlation_vs_distance(
+                vectors, DISTANCES, rng=rng, max_pairs_per_distance=2500
+            )
+            curves[(name, size)] = curve.mean_correlation
+
+    rows = []
+    for size in sizes:
+        per_bioassay = np.array([curves[(n, size)] for n in names])
+        mean_curve = np.nanmean(per_bioassay, axis=0)
+        rows.append(
+            [f"{size}x{size}"] + [f"{v:.3f}" for v in mean_curve]
+        )
+    emit(
+        "fig03_correlation",
+        format_table(
+            ["droplet"] + [f"d={d}" for d in DISTANCES],
+            rows,
+            title=(
+                "Fig. 3 — mean actuation correlation vs Manhattan distance "
+                f"(bioassays: {', '.join(names)})"
+            ),
+        ),
+    )
+
+    # Paper shape 1: inverse relationship with distance for every size.
+    for size in sizes:
+        mean_curve = np.nanmean(
+            np.array([curves[(n, size)] for n in names]), axis=0
+        )
+        assert mean_curve[0] > mean_curve[-1], f"size {size} not decreasing"
+    # Paper shape 2: larger droplets keep correlations higher at short range.
+    small = np.nanmean(np.array([curves[(n, 3)] for n in names]), axis=0)
+    large = np.nanmean(np.array([curves[(n, 6)] for n in names]), axis=0)
+    assert large[:3].mean() > small[:3].mean()
+
+    benchmark.pedantic(
+        lambda: correlation_vs_distance(
+            _record_execution(names[0], 4, seed=77), DISTANCES, rng=rng
+        ),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,51 @@
+"""Fig. 7 — actual degradation D(n) vs observed health H(n).
+
+Sweeps the number of actuations for several (tau, c) configurations and
+health-code widths, showing the exponential decay of D and its staircase
+quantization H = floor(2^b D) — the information the proposed MC exposes to
+the synthesizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import format_series
+from repro.degradation.model import DegradationParams, quantize_health
+
+from benchmarks.common import emit
+
+CONFIGS = [
+    (0.5, 300.0, 2),
+    (0.7, 300.0, 2),
+    (0.9, 300.0, 2),
+    (0.7, 300.0, 3),
+]
+
+
+def test_fig7_degradation_vs_health(benchmark):
+    ns = np.arange(0, 2001, 100)
+    series: dict[str, list[str]] = {}
+    for tau, c, bits in CONFIGS:
+        params = DegradationParams(tau=tau, c=c)
+        d = np.asarray(params.degradation(ns))
+        h = np.asarray(quantize_health(d, bits=bits))
+        key = f"tau={tau},c={int(c)},b={bits}"
+        series[f"D {key}"] = [f"{v:.3f}" for v in d]
+        series[f"H {key}"] = [str(int(v)) for v in h]
+
+        # Paper shape: D decays monotonically; H is a non-increasing
+        # staircase bounded by its bit width.
+        assert (np.diff(d) < 0).all()
+        assert (np.diff(h) <= 0).all()
+        assert h.max() == (1 << bits) - 1 and h.min() >= 0
+    emit(
+        "fig07_health_decay",
+        format_series(
+            "n", [int(n) for n in ns], series,
+            title="Fig. 7 — degradation D(n) and observed health H(n)",
+        ),
+    )
+
+    params = DegradationParams(tau=0.7, c=300.0)
+    benchmark(lambda: quantize_health(np.asarray(params.degradation(ns)), 2))

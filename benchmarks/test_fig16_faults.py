@@ -1,0 +1,147 @@
+"""Fig. 16 — cycles to repeatedly execute each bioassay under fault injection.
+
+Reproduces the Sec. VII-C experiment: microelectrodes are split into normal
+and faulty groups; faulty MCs suffer sudden complete failure at a random
+actuation count, placed either uniformly or as 2x2 clusters.  A *trial*
+repeats the bioassay on one chip until five successful executions or a
+cumulative cap of 1,000 cycles (abort), and the mean (±SD) trial cycles are
+reported per routing method and fault mode.
+
+Paper shape: the adaptive method consistently needs fewer cycles; the gap
+widens under clustered faults (clusters act as roadblocks); the baseline
+fails earlier (executions-to-first-failure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import chip_factory_for, trial_cycles
+from repro.analysis.tables import format_table
+from repro.bioassay.library import EVALUATION_BIOASSAYS
+from repro.bioassay.planner import plan
+from repro.core.baseline import AdaptiveRouter, BaselineRouter
+from repro.degradation.faults import FaultInjector, FaultMode
+
+from benchmarks.common import CHIP_HEIGHT, CHIP_WIDTH, emit, scaled
+
+TAU_RANGE = (0.5, 0.9)
+C_RANGE = (150.0, 350.0)
+FAULT_FRACTION = 0.08
+FAIL_RANGE = (10, 150)
+K_MAX_TOTAL = 1200
+TARGET_SUCCESSES = 5
+#: An execution counts as failed when it exceeds this multiple of the
+#: healthy-chip execution time (the paper's time-sensitive-bioassay
+#: requirement; without a per-execution deadline, failures only show up as
+#: slowdowns).
+EXECUTION_DEADLINE_FACTOR = 2.0
+
+
+def _factory(mode: FaultMode):
+    injector = FaultInjector(mode, fraction=FAULT_FRACTION,
+                             fail_range=FAIL_RANGE)
+    return chip_factory_for(
+        CHIP_WIDTH, CHIP_HEIGHT, tau_range=TAU_RANGE, c_range=C_RANGE,
+        fault_plan_factory=lambda rng: injector.inject(
+            CHIP_WIDTH, CHIP_HEIGHT, rng
+        ),
+    )
+
+
+def _healthy_cycles(graph) -> int:
+    from repro.analysis.metrics import run_execution
+
+    chip_factory = chip_factory_for(
+        CHIP_WIDTH, CHIP_HEIGHT, tau_range=(0.95, 0.99), c_range=(5000, 9000)
+    )
+    chip = chip_factory(np.random.default_rng(0))
+    result = run_execution(
+        graph, chip, BaselineRouter(CHIP_WIDTH, CHIP_HEIGHT),
+        np.random.default_rng(1), max_cycles=2000,
+    )
+    assert result.success
+    return result.cycles
+
+
+def test_fig16_fault_injection(benchmark):
+    n_trials = scaled(3, 10)
+    rows = []
+    results: dict[tuple[str, str, str], object] = {}
+    for name in sorted(EVALUATION_BIOASSAYS):
+        graph = plan(EVALUATION_BIOASSAYS[name](), CHIP_WIDTH, CHIP_HEIGHT)
+        deadline = int(EXECUTION_DEADLINE_FACTOR * _healthy_cycles(graph))
+        for mode in (FaultMode.UNIFORM, FaultMode.CLUSTERED):
+            for router_name, factory in (
+                ("adaptive", lambda w, h: AdaptiveRouter()),
+                ("baseline", lambda w, h: BaselineRouter(w, h)),
+            ):
+                res = trial_cycles(
+                    graph, _factory(mode), factory,
+                    n_trials=n_trials, target_successes=TARGET_SUCCESSES,
+                    k_max_total=K_MAX_TOTAL, seed=16,
+                    per_execution_cap=deadline,
+                )
+                results[(name, mode.value, router_name)] = res
+                rows.append([
+                    name, mode.value, router_name,
+                    f"{res.mean_cycles:.0f}", f"{res.std_cycles:.0f}",
+                    f"{res.mean_executions_to_first_failure:.1f}",
+                    f"{res.aborted_trials}/{res.trials}",
+                ])
+    emit(
+        "fig16_faults",
+        format_table(
+            ["bioassay", "faults", "router", "mean k", "SD",
+             "execs to 1st failure", "aborted"],
+            rows,
+            title=(f"Fig. 16 — trial cycles ({TARGET_SUCCESSES} successes or "
+                   f"{K_MAX_TOTAL}-cycle abort, {n_trials} trials/cell)"),
+        ),
+    )
+
+    # Paper shape 1: aggregated over the suite, adaptive needs fewer cycles
+    # than baseline under both fault modes.
+    for mode in ("uniform", "clustered"):
+        adaptive_total = sum(
+            results[(n, mode, "adaptive")].mean_cycles
+            for n in EVALUATION_BIOASSAYS
+        )
+        baseline_total = sum(
+            results[(n, mode, "baseline")].mean_cycles
+            for n in EVALUATION_BIOASSAYS
+        )
+        assert adaptive_total < baseline_total, mode
+    # Paper shape 2: clustered faults hurt the baseline more than uniform
+    # ones (clusters obstruct droplet movement).
+    base_uniform = sum(
+        results[(n, "uniform", "baseline")].mean_cycles
+        for n in EVALUATION_BIOASSAYS
+    )
+    base_clustered = sum(
+        results[(n, "clustered", "baseline")].mean_cycles
+        for n in EVALUATION_BIOASSAYS
+    )
+    assert base_clustered >= base_uniform * 0.98
+    # Paper shape 3: the adaptive method never fails before the baseline
+    # does (aggregate executions to first failure).
+    for mode in ("uniform", "clustered"):
+        adaptive_e2ff = np.mean([
+            results[(n, mode, "adaptive")].mean_executions_to_first_failure
+            for n in EVALUATION_BIOASSAYS
+        ])
+        baseline_e2ff = np.mean([
+            results[(n, mode, "baseline")].mean_executions_to_first_failure
+            for n in EVALUATION_BIOASSAYS
+        ])
+        assert adaptive_e2ff >= baseline_e2ff - 0.5
+
+    graph = plan(EVALUATION_BIOASSAYS["master-mix"](), CHIP_WIDTH, CHIP_HEIGHT)
+    benchmark.pedantic(
+        lambda: trial_cycles(
+            graph, _factory(FaultMode.UNIFORM),
+            lambda w, h: AdaptiveRouter(),
+            n_trials=1, target_successes=2, k_max_total=300, seed=99,
+        ),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,83 @@
+"""Table IV — MO-to-RJ conversion for the Fig. 12 example bioassay.
+
+Runs the RJ helper on the four-MO sequence graph (two dispenses, a mix, a
+magnetic-sensing op) on a 60x30 chip and checks every derived quantity the
+paper tabulates: droplet sizes, size errors, start/goal locations and hazard
+bounds.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.bioassay.ops import MO, MOType
+from repro.core.droplet import OFF_CHIP
+from repro.core.routing_job import RJHelper
+from repro.geometry.rect import Rect
+
+from benchmarks.common import emit
+
+W, H = 60, 30
+
+
+def fig12_mos() -> list[MO]:
+    return [
+        MO("M1", MOType.DIS, locs=((17.5, 2.5),), size=(4, 4)),
+        MO("M2", MOType.DIS, locs=((17.5, 28.5),), size=(4, 4)),
+        MO("M3", MOType.MIX, pre=("M1", "M2"), locs=((10.5, 15.5),)),
+        MO("M4", MOType.MAG, pre=("M3",), locs=((40.5, 15.5),)),
+    ]
+
+
+#: The paper's Table IV rows: (MO, RJ, start, goal, hazard).
+PAPER_ROWS = [
+    ("M1", "RJ1.0", OFF_CHIP, Rect(16, 1, 19, 4), Rect(13, 1, 22, 7)),
+    ("M2", "RJ2.0", OFF_CHIP, Rect(16, 27, 19, 30), Rect(13, 24, 22, 30)),
+    ("M3", "RJ3.0", Rect(16, 1, 19, 4), Rect(9, 14, 12, 17), Rect(6, 1, 22, 20)),
+    ("M3", "RJ3.1", Rect(16, 27, 19, 30), Rect(9, 14, 12, 17), Rect(6, 11, 22, 30)),
+    ("M4", "RJ4.0", Rect(8, 14, 13, 18), Rect(38, 14, 43, 18), Rect(5, 11, 46, 21)),
+]
+
+
+def test_table4_rj_helper(benchmark):
+    helper = RJHelper(W, H)
+    decomposed = {mo.name: helper.decompose(mo) for mo in fig12_mos()}
+
+    produced = []
+    for name, dec in decomposed.items():
+        for i, job in enumerate(dec.jobs):
+            produced.append((name, f"RJ{name[1]}.{i}", job))
+
+    rows = []
+    for (mo_name, rj_name, job), (p_mo, p_rj, p_start, p_goal, p_hazard) in zip(
+        produced, PAPER_ROWS
+    ):
+        match = (job.start, job.goal, job.hazard) == (p_start, p_goal, p_hazard)
+        rows.append([
+            mo_name, rj_name,
+            str(job.start), str(job.goal), str(job.hazard),
+            "ok" if match else "MISMATCH",
+        ])
+        assert mo_name == p_mo and rj_name == p_rj
+        assert job.start == p_start, f"{rj_name} start"
+        assert job.goal == p_goal, f"{rj_name} goal"
+        assert job.hazard == p_hazard, f"{rj_name} hazard"
+
+    # Size arithmetic of the mix product (Table IV's Size column for M4).
+    merged = decomposed["M3"].output_patterns[0]
+    assert (merged.width, merged.height) == (6, 5)
+    assert decomposed["M3"].size_errors[0] == 0.0625
+
+    emit(
+        "table04_rj_helper",
+        format_table(
+            ["MO", "RJ", "start", "goal", "hazard", "vs paper"],
+            rows,
+            title="Table IV — MO-to-RJ decomposition (60x30 chip)",
+        ),
+    )
+
+    def decompose_all():
+        h = RJHelper(W, H)
+        return [h.decompose(mo) for mo in fig12_mos()]
+
+    benchmark(decompose_all)

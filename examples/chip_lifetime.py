@@ -1,0 +1,69 @@
+"""Chip-lifetime study: how many bioassays can one biochip deliver?
+
+Repeatedly executes the serial-dilution benchmark on the same chip until an
+execution fails or exceeds its cycle budget, once per routing method.  The
+adaptive framework spreads wear away from degraded microelectrodes and keeps
+the chip serviceable for more runs — the economic argument of Sec. VII-B.
+
+Run with:  python examples/chip_lifetime.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.bioassay import plan, serial_dilution
+from repro.biochip import MedaChip, MedaSimulator
+from repro.core import AdaptiveRouter, BaselineRouter, HybridScheduler, Router
+
+CHIP_WIDTH, CHIP_HEIGHT = 60, 30
+CYCLE_BUDGET = 400  # per-execution time-to-result requirement
+MAX_RUNS = 15
+
+
+def lifetime(router: Router, seed: int) -> list[int]:
+    """Cycles per execution until the first failure (or MAX_RUNS)."""
+    chip = MedaChip.sample(
+        CHIP_WIDTH, CHIP_HEIGHT, np.random.default_rng(seed),
+        tau_range=(0.5, 0.9), c_range=(150.0, 350.0),
+    )
+    graph = plan(serial_dilution(), CHIP_WIDTH, CHIP_HEIGHT)
+    rng = np.random.default_rng(seed + 1)
+    cycles: list[int] = []
+    for _ in range(MAX_RUNS):
+        scheduler = HybridScheduler(graph, router, CHIP_WIDTH, CHIP_HEIGHT)
+        result = MedaSimulator(chip, rng).run(scheduler, CYCLE_BUDGET)
+        if not result.success:
+            break
+        cycles.append(result.cycles)
+    return cycles
+
+
+def main() -> None:
+    seed = 3
+    adaptive = lifetime(AdaptiveRouter(), seed)
+    baseline = lifetime(BaselineRouter(CHIP_WIDTH, CHIP_HEIGHT), seed)
+
+    rows = []
+    for run in range(max(len(adaptive), len(baseline))):
+        rows.append([
+            run + 1,
+            adaptive[run] if run < len(adaptive) else "chip retired",
+            baseline[run] if run < len(baseline) else "chip retired",
+        ])
+    print(format_table(
+        ["run", "adaptive (cycles)", "baseline (cycles)"],
+        rows,
+        title=(
+            f"Serial dilution on one chip, {CYCLE_BUDGET}-cycle budget "
+            "per run"
+        ),
+    ))
+    print()
+    print(f"adaptive delivered {len(adaptive)} runs, "
+          f"baseline {len(baseline)} runs before retirement")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Execution replay: trace a bioassay and inspect what happened.
+
+Runs the CEP bioassay with tracing enabled, prints the MO timeline, the
+droplet stall statistics (the observable cost of degraded microelectrodes)
+and a few chip snapshots with droplets overlaid on the health map.
+
+Run with:  python examples/execution_replay.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import render_health
+from repro.bioassay import cep, plan
+from repro.biochip import ExecutionTrace, MedaChip, MedaSimulator
+from repro.core import AdaptiveRouter, HybridScheduler
+
+CHIP_WIDTH, CHIP_HEIGHT = 60, 30
+
+
+def main() -> None:
+    graph = plan(cep(), CHIP_WIDTH, CHIP_HEIGHT)
+    chip = MedaChip.sample(
+        CHIP_WIDTH, CHIP_HEIGHT, np.random.default_rng(11),
+        tau_range=(0.45, 0.65), c_range=(50.0, 110.0),
+    )
+    trace = ExecutionTrace()
+    scheduler = HybridScheduler(graph, AdaptiveRouter(), CHIP_WIDTH, CHIP_HEIGHT)
+    sim = MedaSimulator(chip, np.random.default_rng(12), trace=trace)
+    result = sim.run(scheduler, max_cycles=800)
+
+    print(f"execution {'succeeded' if result.success else 'failed'} "
+          f"in {result.cycles} cycles "
+          f"({result.total_actuations} actuations, "
+          f"{result.resyntheses} health-triggered replans)\n")
+
+    print(trace.timeline())
+    print(f"\npeak droplet concurrency: {trace.max_concurrent_droplets()}")
+
+    # Stall statistics per droplet that appears in the trace.
+    droplet_ids = sorted({d for f in trace.frames for d in f.droplets})
+    stalls = {d: trace.stall_cycles(d) for d in droplet_ids}
+    worst = sorted(stalls.items(), key=lambda kv: -kv[1])[:5]
+    print("most-stalled droplets (degraded frontiers cost cycles):")
+    for did, count in worst:
+        print(f"  droplet {did}: {count} stalled cycles")
+
+    # Snapshot the chip at three points of the execution.
+    for fraction in (0.25, 0.6, 0.95):
+        frame = trace.frames[int(fraction * (len(trace.frames) - 1))]
+        print(f"\n--- cycle {frame.cycle} "
+              f"({len(frame.droplets)} droplets on chip) ---")
+        # Recompute health from the final chip state for rendering; the
+        # droplet overlay comes from the traced frame.
+        print(render_health(chip.health(), frame.droplets))
+
+
+if __name__ == "__main__":
+    main()

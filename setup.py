@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs on environments without the wheel
+package (pip's PEP-517 editable path needs bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""repro — reproduction of *Formal Synthesis of Adaptive Droplet Routing for
+MEDA Biochips* (Elfar, Liang, Chakrabarty, Pajic — DATE 2021).
+
+The package is layered bottom-up:
+
+* :mod:`repro.geometry` — discrete rectangle algebra;
+* :mod:`repro.circuits` — the microelectrode-cell sensing circuit (Fig. 1-2);
+* :mod:`repro.degradation` — the charge-trapping model, its simulated PCB
+  validation (Figs. 5-6) and fault injection;
+* :mod:`repro.modelcheck` — explicit-state MDP/SMG model checking (the
+  PRISM-games substitute);
+* :mod:`repro.core` — the paper's contribution: droplet/actuation model,
+  routing jobs, strategy synthesis, hybrid scheduler, baseline router;
+* :mod:`repro.biochip` — the MEDA biochip simulator (Fig. 14);
+* :mod:`repro.bioassay` — sequencing graphs, placement planner, and the
+  benchmark bioassay suite;
+* :mod:`repro.analysis` — evaluation metrics and table/figure rendering.
+
+Quickstart::
+
+    import numpy as np
+    from repro.bioassay import covid_rat, plan
+    from repro.biochip import MedaChip, MedaSimulator
+    from repro.core import AdaptiveRouter, HybridScheduler
+
+    chip = MedaChip.sample(60, 30, np.random.default_rng(1))
+    graph = plan(covid_rat(), chip.width, chip.height)
+    scheduler = HybridScheduler(graph, AdaptiveRouter(), chip.width, chip.height)
+    result = MedaSimulator(chip, np.random.default_rng(2)).run(scheduler, 500)
+    print(result.success, result.cycles)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "bioassay",
+    "biochip",
+    "circuits",
+    "core",
+    "degradation",
+    "geometry",
+    "modelcheck",
+]

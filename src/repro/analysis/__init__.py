@@ -1,0 +1,50 @@
+"""Experiment analytics: correlations, PoS/cycle metrics, table rendering."""
+
+from repro.analysis.correlation import (
+    CorrelationCurve,
+    correlation_vs_distance,
+    pairwise_correlation,
+)
+from repro.analysis.render import (
+    render_actuation,
+    render_degradation,
+    render_health,
+    render_route,
+)
+from repro.analysis.metrics import (
+    PoSResult,
+    TrialResult,
+    chip_factory_for,
+    probability_of_success,
+    run_execution,
+    trial_cycles,
+)
+from repro.analysis.tables import format_series, format_table
+from repro.analysis.wear import (
+    remaining_lifetime,
+    wear_concentration,
+    wear_gini,
+    wear_histogram,
+)
+
+__all__ = [
+    "CorrelationCurve",
+    "PoSResult",
+    "TrialResult",
+    "chip_factory_for",
+    "correlation_vs_distance",
+    "format_series",
+    "format_table",
+    "pairwise_correlation",
+    "probability_of_success",
+    "render_actuation",
+    "render_degradation",
+    "render_health",
+    "render_route",
+    "remaining_lifetime",
+    "run_execution",
+    "trial_cycles",
+    "wear_concentration",
+    "wear_gini",
+    "wear_histogram",
+]

@@ -1,0 +1,214 @@
+"""Evaluation metrics and experiment harnesses (Sec. VII-B/C).
+
+* :func:`run_execution` — one bioassay execution on a chip (builds a fresh
+  scheduler; the chip keeps its accumulated wear across calls).
+* :func:`probability_of_success` — the Fig. 15 experiment: repeated
+  executions on reused chips; the PoS at a time budget ``k_max`` is the
+  fraction of executions that completed successfully within it.
+* :func:`trial_cycles` — the Fig. 16 experiment: a *trial* repeats a
+  bioassay on one chip until five successful executions or a cumulative
+  cycle cap; reports the mean and SD of cycles consumed, plus the mean
+  number of executions to first failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.bioassay.planner import plan
+from repro.bioassay.seqgraph import SequencingGraph
+from repro.biochip.chip import MedaChip
+from repro.biochip.simulator import ExecutionResult, MedaSimulator
+from repro.core.baseline import Router
+from repro.core.scheduler import HybridScheduler
+from repro.degradation.faults import FaultPlan
+
+RouterFactory = Callable[[int, int], Router]
+ChipFactory = Callable[[np.random.Generator], MedaChip]
+
+
+def run_execution(
+    graph: SequencingGraph,
+    chip: MedaChip,
+    router: Router,
+    rng: np.random.Generator,
+    max_cycles: int,
+) -> ExecutionResult:
+    """Execute a placed bioassay once on (the current state of) ``chip``."""
+    scheduler = HybridScheduler(graph, router, chip.width, chip.height)
+    simulator = MedaSimulator(chip, rng)
+    return simulator.run(scheduler, max_cycles=max_cycles)
+
+
+@dataclass(frozen=True)
+class PoSResult:
+    """Probability-of-success curve for one (bioassay, router) pair."""
+
+    k_max_values: np.ndarray
+    probability: np.ndarray
+    executions: int
+
+    def at(self, k_max: int) -> float:
+        idx = int(np.searchsorted(self.k_max_values, k_max))
+        if idx >= self.k_max_values.size or self.k_max_values[idx] != k_max:
+            raise KeyError(f"k_max={k_max} was not evaluated")
+        return float(self.probability[idx])
+
+
+def probability_of_success(
+    graph: SequencingGraph,
+    chip_factory: ChipFactory,
+    router_factory: RouterFactory,
+    k_max_values: list[int],
+    n_chips: int = 10,
+    runs_per_chip: int = 5,
+    seed: int = 0,
+) -> PoSResult:
+    """The Fig. 15 experiment.
+
+    Each chip is reused for ``runs_per_chip`` consecutive executions
+    (degradation persists — CMOS biochips are too expensive to discard).
+    Every execution runs under the *largest* time budget; the PoS at a
+    smaller ``k_max`` counts an execution as successful when it finished
+    within that budget.  This derives the whole curve from one trace per
+    execution; the approximation ignores the (second-order) effect that an
+    earlier abort would have preserved slightly more chip health for
+    subsequent runs.
+    """
+    if not k_max_values:
+        raise ValueError("need at least one k_max value")
+    k_sorted = sorted(k_max_values)
+    budget = k_sorted[-1]
+    completion: list[float] = []
+    rng_master = np.random.default_rng(seed)
+    router: Router | None = None
+    for chip_idx in range(n_chips):
+        chip_rng = np.random.default_rng(rng_master.integers(2**63))
+        sim_rng = np.random.default_rng(rng_master.integers(2**63))
+        chip = chip_factory(chip_rng)
+        if router is None:
+            # One router (and strategy library) serves every chip — the
+            # hybrid scheme's offline library amortized across the fleet.
+            router = router_factory(chip.width, chip.height)
+        graph_placed = _ensure_placed(graph, chip.width, chip.height)
+        for _ in range(runs_per_chip):
+            result = run_execution(graph_placed, chip, router, sim_rng, budget)
+            completion.append(result.cycles if result.success else np.inf)
+    completion_arr = np.asarray(completion)
+    probs = np.asarray(
+        [float(np.mean(completion_arr <= k)) for k in k_sorted]
+    )
+    return PoSResult(
+        k_max_values=np.asarray(k_sorted, dtype=int),
+        probability=probs,
+        executions=len(completion),
+    )
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """The Fig. 16 statistics for one (bioassay, router, fault-mode) cell."""
+
+    mean_cycles: float
+    std_cycles: float
+    mean_executions_to_first_failure: float
+    aborted_trials: int
+    trials: int
+
+
+def trial_cycles(
+    graph: SequencingGraph,
+    chip_factory: ChipFactory,
+    router_factory: RouterFactory,
+    n_trials: int = 10,
+    target_successes: int = 5,
+    k_max_total: int = 1000,
+    per_execution_cap: int | None = None,
+    seed: int = 0,
+) -> TrialResult:
+    """The Fig. 16 experiment.
+
+    A trial repeatedly executes the bioassay on one chip until
+    ``target_successes`` successes or until the cumulative cycle count
+    exceeds ``k_max_total`` (abort: the chip is too degraded).  Per the
+    paper, the reported ``k`` is the total number of cycles a trial
+    consumed; the executions-to-first-failure statistic counts how many
+    executions completed before the first failed one (``target_successes``
+    when the trial never failed).
+    """
+    cycles_per_trial: list[float] = []
+    first_failures: list[int] = []
+    aborted = 0
+    rng_master = np.random.default_rng(seed)
+    router: Router | None = None
+    for _ in range(n_trials):
+        chip_rng = np.random.default_rng(rng_master.integers(2**63))
+        sim_rng = np.random.default_rng(rng_master.integers(2**63))
+        chip = chip_factory(chip_rng)
+        if router is None:
+            router = router_factory(chip.width, chip.height)
+        graph_placed = _ensure_placed(graph, chip.width, chip.height)
+        total = 0
+        successes = 0
+        executions = 0
+        failed_yet = False
+        first_failure_at = None
+        while successes < target_successes and total < k_max_total:
+            remaining = k_max_total - total
+            cap = remaining if per_execution_cap is None else min(
+                remaining, per_execution_cap
+            )
+            result = run_execution(graph_placed, chip, router, sim_rng, cap)
+            executions += 1
+            total += max(result.cycles, 1)
+            if result.success:
+                successes += 1
+            elif not failed_yet:
+                failed_yet = True
+                first_failure_at = executions - 1
+        if successes < target_successes:
+            aborted += 1
+        cycles_per_trial.append(float(total))
+        first_failures.append(
+            first_failure_at if first_failure_at is not None else successes
+        )
+    arr = np.asarray(cycles_per_trial)
+    return TrialResult(
+        mean_cycles=float(arr.mean()),
+        std_cycles=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        mean_executions_to_first_failure=float(np.mean(first_failures)),
+        aborted_trials=aborted,
+        trials=n_trials,
+    )
+
+
+def chip_factory_for(
+    width: int,
+    height: int,
+    tau_range: tuple[float, float] = (0.5, 0.9),
+    c_range: tuple[float, float] = (200.0, 500.0),
+    fault_plan_factory: Callable[[np.random.Generator], FaultPlan] | None = None,
+) -> ChipFactory:
+    """A chip factory with the Sec. VII-B degradation distributions."""
+
+    def factory(rng: np.random.Generator) -> MedaChip:
+        fault_plan = None
+        if fault_plan_factory is not None:
+            fault_plan = fault_plan_factory(rng)
+        return MedaChip.sample(
+            width, height, rng, tau_range=tau_range, c_range=c_range,
+            fault_plan=fault_plan,
+        )
+
+    return factory
+
+
+def _ensure_placed(
+    graph: SequencingGraph, width: int, height: int
+) -> SequencingGraph:
+    if graph.is_placed():
+        return graph
+    return plan(graph, width, height)

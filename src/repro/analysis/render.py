@@ -1,0 +1,124 @@
+"""ASCII rendering of chip state, droplets and routes.
+
+Terminal-friendly visualizations used by the CLI, the examples, and — most
+importantly — by anyone debugging a routing decision: a health heatmap with
+droplet overlays, and a route plot for a synthesized strategy.
+
+Conventions: x grows east (left to right), y grows north, so row 1 of the
+printout is the chip's *top* (y = height).  Health renders as the digit of
+the ``b``-bit code, with dead cells as ``#`` for visibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.actions import ACTIONS, apply_action
+from repro.core.strategy import RoutingStrategy
+from repro.geometry.rect import Rect
+
+#: Glyph for a completely dead microelectrode (health 0).
+DEAD_GLYPH = "#"
+
+
+def _grid(width: int, height: int, fill: str = ".") -> list[list[str]]:
+    return [[fill] * width for _ in range(height)]
+
+
+def _render(grid: list[list[str]]) -> str:
+    # y grows north: print the top row (largest y) first.
+    return "\n".join("".join(row) for row in reversed(grid))
+
+
+def render_health(
+    health: np.ndarray, droplets: dict[int, Rect] | None = None
+) -> str:
+    """The health matrix as a character map, droplets overlaid as letters.
+
+    Droplet ``i`` renders as the letter ``chr(ord('A') + i % 26)``; health
+    levels render as their digit, dead cells as ``#``.
+    """
+    width, height = health.shape
+    grid = _grid(width, height)
+    for i in range(width):
+        for j in range(height):
+            level = int(health[i, j])
+            grid[j][i] = DEAD_GLYPH if level == 0 else str(level)
+    if droplets:
+        for did, rect in sorted(droplets.items()):
+            glyph = chr(ord("A") + did % 26)
+            for (i, j) in rect.cells():
+                if 1 <= i <= width and 1 <= j <= height:
+                    grid[j - 1][i - 1] = glyph
+    return _render(grid)
+
+
+def render_route(
+    strategy: RoutingStrategy,
+    health: np.ndarray,
+    max_steps: int = 300,
+) -> str:
+    """The strategy's intended route from its job's start, over the chip.
+
+    Walks the greedy (always-successful) outcome of each prescribed action;
+    the stochastic simulator would interleave stalls but visit the same
+    patterns.  Start cells render ``S``, goal cells ``G``, the route ``o``,
+    dead cells ``#``.
+    """
+    width, height = health.shape
+    grid = _grid(width, height)
+    for i in range(width):
+        for j in range(height):
+            if health[i, j] == 0:
+                grid[j][i] = DEAD_GLYPH
+    job = strategy.job
+    for (i, j) in job.goal.cells():
+        grid[j - 1][i - 1] = "G"
+    delta = job.start
+    trail = [delta]
+    for _ in range(max_steps):
+        if job.goal.contains(delta):
+            break
+        action = strategy.action(delta)
+        if action is None:
+            break
+        delta = apply_action(delta, ACTIONS[action])
+        trail.append(delta)
+    for step, rect in enumerate(trail):
+        glyph = "S" if step == 0 else "o"
+        for (i, j) in rect.cells():
+            if grid[j - 1][i - 1] in (".", "o"):
+                grid[j - 1][i - 1] = glyph
+    return _render(grid)
+
+
+def render_actuation(actuation: np.ndarray) -> str:
+    """One cycle's actuation matrix (``*`` actuated, ``.`` idle)."""
+    width, height = actuation.shape
+    grid = _grid(width, height)
+    for i in range(width):
+        for j in range(height):
+            if actuation[i, j]:
+                grid[j][i] = "*"
+    return _render(grid)
+
+
+def render_degradation(
+    degradation: np.ndarray, buckets: str = " .:-=+*%@#"
+) -> str:
+    """The hidden degradation matrix as a wear heatmap.
+
+    Pristine cells render as the lightest glyph, dead cells as the densest
+    (``1 - D`` indexes into ``buckets``).
+    """
+    if not buckets:
+        raise ValueError("need at least one bucket glyph")
+    width, height = degradation.shape
+    grid = _grid(width, height)
+    n = len(buckets)
+    for i in range(width):
+        for j in range(height):
+            wear = 1.0 - float(degradation[i, j])
+            idx = min(int(wear * n), n - 1)
+            grid[j][i] = buckets[idx]
+    return _render(grid)

@@ -1,0 +1,94 @@
+"""Wear-distribution statistics: *how* adaptive routing extends chip life.
+
+The adaptive router's advantage is not only avoiding already-degraded
+microelectrodes — it is that doing so spreads actuations across the array
+instead of hammering one shortest-path corridor.  This module quantifies
+that with standard inequality statistics over the per-MC actuation counts:
+
+* :func:`wear_gini` — the Gini coefficient of the actuation distribution
+  (0 = perfectly even wear, → 1 = all wear on a few cells);
+* :func:`wear_concentration` — the fraction of all actuations carried by
+  the most-actuated ``q`` fraction of microelectrodes;
+* :func:`wear_histogram` — bucketed counts for table rendering;
+* :func:`remaining_lifetime` — per-MC actuations left until the health
+  code drops below a threshold, given the chip's (tau, c) constants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.biochip.chip import MedaChip
+
+
+def wear_gini(actuations: np.ndarray, active_only: bool = False) -> float:
+    """Gini coefficient of the per-MC actuation counts.
+
+    With ``active_only`` the statistic is computed over the cells that were
+    actuated at least once — useful when most of the chip is untouched and
+    would otherwise dominate the coefficient.
+    """
+    values = np.asarray(actuations, dtype=float).ravel()
+    if active_only:
+        values = values[values > 0]
+    if values.size == 0:
+        return 0.0
+    total = values.sum()
+    if total == 0.0:
+        return 0.0
+    sorted_vals = np.sort(values)
+    n = sorted_vals.size
+    # Gini = 1 + 1/n - 2 * sum((n + 1 - i) x_i) / (n * sum(x))
+    ranks = np.arange(1, n + 1)
+    return float(
+        (2.0 * np.sum(ranks * sorted_vals)) / (n * total) - (n + 1.0) / n
+    )
+
+
+def wear_concentration(actuations: np.ndarray, q: float = 0.1) -> float:
+    """Fraction of total actuations on the most-worn ``q`` of the MCs."""
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    values = np.sort(np.asarray(actuations, dtype=float).ravel())[::-1]
+    total = values.sum()
+    if total == 0.0:
+        return 0.0
+    top = max(1, int(round(q * values.size)))
+    return float(values[:top].sum() / total)
+
+
+def wear_histogram(
+    actuations: np.ndarray, edges: list[int] | None = None
+) -> list[tuple[str, int]]:
+    """Bucketed MC counts by actuation count, for table rendering."""
+    values = np.asarray(actuations).ravel()
+    if edges is None:
+        edges = [0, 1, 10, 50, 100, 250, 500, 1000]
+    edges = sorted(edges)
+    rows: list[tuple[str, int]] = []
+    for lo, hi in zip(edges, edges[1:]):
+        count = int(np.sum((values >= lo) & (values < hi)))
+        rows.append((f"[{lo}, {hi})", count))
+    rows.append((f">= {edges[-1]}", int(np.sum(values >= edges[-1]))))
+    return rows
+
+
+def remaining_lifetime(chip: MedaChip, min_health: int = 1) -> np.ndarray:
+    """Per-MC actuations left before health falls below ``min_health``.
+
+    Inverts the degradation model per cell: the threshold degradation is the
+    lower edge of the ``min_health`` bucket, and the remaining budget is the
+    difference between the actuation count reaching it and the current
+    count.  Already-failed cells (and cells past the threshold) report 0;
+    faulty cells report the distance to their sudden-failure count when
+    that comes sooner.
+    """
+    levels = 1 << chip.bits
+    if not 0 < min_health < levels:
+        raise ValueError(f"min_health must be in [1, {levels - 1}]")
+    d_threshold = min_health / levels
+    with np.errstate(divide="ignore"):
+        n_at_threshold = chip.c * np.log(d_threshold) / np.log(chip.tau)
+    remaining = np.maximum(n_at_threshold - chip.actuations, 0.0)
+    sudden = np.maximum(chip.faults.fail_at - chip.actuations, 0.0)
+    return np.minimum(remaining, sudden)

@@ -1,0 +1,55 @@
+"""Bioassay substrate: operation types, sequencing graphs, placement, suite."""
+
+from repro.bioassay.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.bioassay.library import (
+    ALL_BIOASSAYS,
+    EVALUATION_BIOASSAYS,
+    PATTERN_BIOASSAYS,
+    cep,
+    chip_assay,
+    covid_pcr,
+    covid_rat,
+    gene_expression,
+    master_mix,
+    multiplex_invitro,
+    nuip,
+    serial_dilution,
+    with_dispense_size,
+)
+from repro.bioassay.ops import DEFAULT_HOLD_CYCLES, MO, MO_ARITY, MO_LOCATIONS, MOType
+from repro.bioassay.planner import Planner, PlannerConfig, plan
+from repro.bioassay.seqgraph import SequencingGraph
+
+__all__ = [
+    "ALL_BIOASSAYS",
+    "DEFAULT_HOLD_CYCLES",
+    "EVALUATION_BIOASSAYS",
+    "MO",
+    "MO_ARITY",
+    "MO_LOCATIONS",
+    "MOType",
+    "PATTERN_BIOASSAYS",
+    "Planner",
+    "PlannerConfig",
+    "SequencingGraph",
+    "cep",
+    "chip_assay",
+    "covid_pcr",
+    "covid_rat",
+    "gene_expression",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph",
+    "master_mix",
+    "multiplex_invitro",
+    "nuip",
+    "plan",
+    "save_graph",
+    "serial_dilution",
+    "with_dispense_size",
+]

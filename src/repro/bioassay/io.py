@@ -1,0 +1,93 @@
+"""JSON serialization of sequencing graphs.
+
+Bioassays are data, not code: labs exchange protocols as files.  This module
+round-trips :class:`~repro.bioassay.seqgraph.SequencingGraph` through a
+simple JSON schema so protocols can be versioned, edited and loaded by the
+CLI (``python -m repro run --file protocol.json``).
+
+Schema::
+
+    {
+      "name": "covid-rat",
+      "mos": [
+        {"name": "sample", "type": "dis", "size": [4, 4]},
+        {"name": "bind", "type": "mix", "pre": ["sample", "conjugate"],
+         "hold_cycles": 4, "locs": [[20.5, 12.5]]},
+        ...
+      ]
+    }
+
+``locs``/``size``/``pre``/``pre_output``/``hold_cycles`` are optional with
+the same defaults as :class:`~repro.bioassay.ops.MO`; validation happens in
+the MO and graph constructors, so a malformed file fails with the same
+errors as malformed code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.bioassay.ops import MO, MOType
+from repro.bioassay.seqgraph import SequencingGraph
+
+
+def graph_to_dict(graph: SequencingGraph) -> dict[str, Any]:
+    """The JSON-ready dictionary form of a sequencing graph."""
+    mos = []
+    for mo in graph.mos:
+        entry: dict[str, Any] = {"name": mo.name, "type": mo.type.value}
+        if mo.pre:
+            entry["pre"] = list(mo.pre)
+        if mo.pre_output:
+            entry["pre_output"] = list(mo.pre_output)
+        if mo.locs:
+            entry["locs"] = [list(loc) for loc in mo.locs]
+        if mo.size is not None:
+            entry["size"] = list(mo.size)
+        if mo.hold_cycles:
+            entry["hold_cycles"] = mo.hold_cycles
+        if mo.concentration:
+            entry["concentration"] = mo.concentration
+        mos.append(entry)
+    return {"name": graph.name, "mos": mos}
+
+
+def graph_from_dict(data: dict[str, Any]) -> SequencingGraph:
+    """Rebuild a sequencing graph from its dictionary form."""
+    if "name" not in data or "mos" not in data:
+        raise ValueError("bioassay JSON needs 'name' and 'mos' keys")
+    mos = []
+    for entry in data["mos"]:
+        if "name" not in entry or "type" not in entry:
+            raise ValueError(f"MO entry {entry!r} needs 'name' and 'type'")
+        try:
+            mo_type = MOType(entry["type"])
+        except ValueError as exc:
+            raise ValueError(
+                f"unknown MO type {entry['type']!r} in {entry['name']!r}"
+            ) from exc
+        mos.append(MO(
+            name=entry["name"],
+            type=mo_type,
+            pre=tuple(entry.get("pre", ())),
+            pre_output=tuple(entry.get("pre_output", ())),
+            locs=tuple(tuple(loc) for loc in entry.get("locs", ())),
+            size=tuple(entry["size"]) if "size" in entry else None,
+            hold_cycles=int(entry.get("hold_cycles", 0)),
+            concentration=float(entry.get("concentration", 0.0)),
+        ))
+    return SequencingGraph(name=data["name"], mos=mos)
+
+
+def save_graph(graph: SequencingGraph, path: str | Path) -> Path:
+    """Write a bioassay to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(graph_to_dict(graph), indent=2) + "\n")
+    return path
+
+
+def load_graph(path: str | Path) -> SequencingGraph:
+    """Load a bioassay from a JSON file."""
+    return graph_from_dict(json.loads(Path(path).read_text()))

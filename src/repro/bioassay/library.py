@@ -1,0 +1,311 @@
+"""The benchmark bioassay suite.
+
+Sec. VII simulates six benchmark bioassays — Master-Mix, CEP (cell lysis +
+mRNA extraction + mRNA purification), Serial Dilution, nucleosome
+immunoprecipitation (NuIP), COVID rapid-antigen test and COVID PCR test —
+and the Fig. 3 degradation-pattern study uses three more: ChIP, multiplex
+in-vitro, and gene expression.
+
+The protocols themselves are proprietary lab procedures; what the evaluation
+depends on is their *routing workload*: how many droplets move, how far, how
+many mix/split/magnetic-bead steps chain together.  Each builder below
+encodes the cited protocol's structure (operation counts and dependency
+shape) as a sequencing graph of Table III operations; the planner assigns
+on-chip locations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bioassay.ops import DEFAULT_HOLD_CYCLES, MO, MOType
+from repro.bioassay.seqgraph import SequencingGraph
+
+#: Default dispensed droplet footprint (4x4, as in the paper's examples).
+DEFAULT_SIZE = (4, 4)
+
+
+def _dis(name: str, size: tuple[int, int] = DEFAULT_SIZE,
+         concentration: float = 0.0) -> MO:
+    return MO(name=name, type=MOType.DIS, size=size,
+              concentration=concentration)
+
+
+def _mix(name: str, a: str, b: str, hold: int | None = None) -> MO:
+    return MO(
+        name=name,
+        type=MOType.MIX,
+        pre=(a, b),
+        hold_cycles=DEFAULT_HOLD_CYCLES[MOType.MIX] if hold is None else hold,
+    )
+
+
+def _mag(name: str, a: str, hold: int | None = None) -> MO:
+    return MO(
+        name=name,
+        type=MOType.MAG,
+        pre=(a,),
+        hold_cycles=DEFAULT_HOLD_CYCLES[MOType.MAG] if hold is None else hold,
+    )
+
+
+def _spt(name: str, a: str) -> MO:
+    return MO(
+        name=name, type=MOType.SPT, pre=(a,),
+        hold_cycles=DEFAULT_HOLD_CYCLES[MOType.SPT],
+    )
+
+
+def _dlt(name: str, a: str, b: str, pre_output: tuple[int, int] = (0, 0)) -> MO:
+    return MO(
+        name=name, type=MOType.DLT, pre=(a, b), pre_output=pre_output,
+        hold_cycles=DEFAULT_HOLD_CYCLES[MOType.DLT],
+    )
+
+
+def _out(name: str, a: str, slot: int = 0) -> MO:
+    return MO(name=name, type=MOType.OUT, pre=(a,), pre_output=(slot,))
+
+
+def _dsc(name: str, a: str, slot: int = 0) -> MO:
+    return MO(name=name, type=MOType.DSC, pre=(a,), pre_output=(slot,))
+
+
+def master_mix() -> SequencingGraph:
+    """PCR master-mix preparation: pool three reagents, deliver the mix."""
+    return SequencingGraph(
+        "master-mix",
+        [
+            _dis("buffer"),
+            _dis("primers"),
+            _dis("polymerase"),
+            _mix("mix1", "buffer", "primers"),
+            _mix("mix2", "mix1", "polymerase"),
+            _out("collect", "mix2"),
+        ],
+    )
+
+
+def covid_rat() -> SequencingGraph:
+    """COVID rapid antigen test: sample + conjugate, bind, read out."""
+    return SequencingGraph(
+        "covid-rat",
+        [
+            _dis("sample"),
+            _dis("conjugate"),
+            _mix("bind", "sample", "conjugate"),
+            _mag("detect", "bind", hold=10),
+            _out("readout", "detect"),
+        ],
+    )
+
+
+def covid_pcr() -> SequencingGraph:
+    """COVID PCR test: lysis, bead-based RNA extraction, wash, amplification.
+
+    The thermal amplification stage is represented as a long magnetic-module
+    hold (the droplet is parked on a heater module; from the routing
+    perspective both are a route-and-hold).
+    """
+    return SequencingGraph(
+        "covid-pcr",
+        [
+            _dis("swab"),
+            _dis("lysis_buffer"),
+            _mix("lyse", "swab", "lysis_buffer"),
+            _dis("beads"),
+            _mix("capture", "lyse", "beads"),
+            _mag("extract", "capture", hold=10),
+            _spt("elute", "extract"),
+            _dsc("waste", "elute", slot=1),
+            _dis("master_mix"),
+            _mix("assemble", "elute", "master_mix"),
+            _mag("amplify", "assemble", hold=14),
+            _out("readout", "amplify"),
+        ],
+    )
+
+
+def serial_dilution(stages: int = 4) -> SequencingGraph:
+    """Serial dilution chain (ref. [40]): repeated two-fold dilutions.
+
+    Each stage dilutes the running sample with fresh buffer (a ``dlt`` MO
+    produces the diluted product and a to-discard remainder).
+    """
+    if stages < 1:
+        raise ValueError("need at least one dilution stage")
+    mos: list[MO] = [_dis("sample", concentration=1.0)]
+    current = "sample"
+    for i in range(stages):
+        buffer = f"buffer{i}"
+        dilute = f"dilute{i}"
+        mos.append(_dis(buffer))
+        mos.append(_dlt(dilute, current, buffer))
+        mos.append(_dsc(f"waste{i}", dilute, slot=1))
+        current = dilute
+    mos.append(_out("collect", current, slot=0))
+    return SequencingGraph("serial-dilution", mos)
+
+
+def cep() -> SequencingGraph:
+    """CEP bioprotocol: cell lysis, mRNA extraction, mRNA purification."""
+    return SequencingGraph(
+        "cep",
+        [
+            # cell lysis
+            _dis("cells"),
+            _dis("lysis_buffer"),
+            _mix("lyse", "cells", "lysis_buffer"),
+            # mRNA extraction on oligo-dT beads
+            _dis("oligo_beads"),
+            _mix("capture", "lyse", "oligo_beads"),
+            _mag("immobilize", "capture", hold=10),
+            _spt("separate", "immobilize"),
+            _dsc("lysate_waste", "separate", slot=1),
+            # purification: wash the bead fraction, elute
+            _dis("wash_buffer"),
+            _mix("wash", "separate", "wash_buffer"),
+            _mag("re_immobilize", "wash", hold=8),
+            _out("purified_mrna", "re_immobilize"),
+        ],
+    )
+
+
+def nuip() -> SequencingGraph:
+    """Nucleosome immunoprecipitation (ref. [17], [41]).
+
+    Nucleosome prep, antibody binding, bead capture with two wash rounds,
+    and elution — the longest benchmark, dominating Fig. 15/16's right side.
+    """
+    return SequencingGraph(
+        "nuip",
+        [
+            _dis("chromatin"),
+            _dis("digestion_buffer"),
+            _mix("digest", "chromatin", "digestion_buffer"),
+            _dis("antibody"),
+            _mix("bind_ab", "digest", "antibody"),
+            _dis("protein_a_beads"),
+            _mix("bead_capture", "bind_ab", "protein_a_beads"),
+            _mag("capture1", "bead_capture", hold=10),
+            _spt("split1", "capture1"),
+            _dsc("supernatant1", "split1", slot=1),
+            _dis("wash1_buffer"),
+            _mix("wash1", "split1", "wash1_buffer"),
+            _mag("capture2", "wash1", hold=8),
+            _spt("split2", "capture2"),
+            _dsc("supernatant2", "split2", slot=1),
+            _dis("elution_buffer"),
+            _mix("elute_mix", "split2", "elution_buffer"),
+            _mag("elute", "elute_mix", hold=8),
+            _out("nucleosomes", "elute"),
+        ],
+    )
+
+
+def chip_assay() -> SequencingGraph:
+    """Chromatin immunoprecipitation (ChIP) — Fig. 3 workload."""
+    return SequencingGraph(
+        "chip",
+        [
+            _dis("chromatin"),
+            _dis("shear_buffer"),
+            _mix("shear", "chromatin", "shear_buffer"),
+            _dis("antibody"),
+            _mix("ip", "shear", "antibody"),
+            _dis("beads"),
+            _mix("capture", "ip", "beads"),
+            _mag("pulldown", "capture", hold=10),
+            _spt("clear", "pulldown"),
+            _dsc("unbound", "clear", slot=1),
+            _out("enriched", "clear"),
+        ],
+    )
+
+
+def multiplex_invitro() -> SequencingGraph:
+    """Multiplexed in-vitro diagnostics (two parallel assay arms merged)."""
+    return SequencingGraph(
+        "multiplex-invitro",
+        [
+            _dis("sample_a"),
+            _dis("reagent_a"),
+            _mix("react_a", "sample_a", "reagent_a"),
+            _mag("sense_a", "react_a", hold=8),
+            _dis("sample_b"),
+            _dis("reagent_b"),
+            _mix("react_b", "sample_b", "reagent_b"),
+            _mag("sense_b", "react_b", hold=8),
+            _mix("combine", "sense_a", "sense_b"),
+            _out("panel_readout", "combine"),
+        ],
+    )
+
+
+def gene_expression() -> SequencingGraph:
+    """Gene-expression analysis: RT prep with a dilution and readout."""
+    return SequencingGraph(
+        "gene-expression",
+        [
+            _dis("rna"),
+            _dis("rt_mix"),
+            _mix("rt_reaction", "rna", "rt_mix"),
+            _mag("incubate", "rt_reaction", hold=10),
+            _dis("dilution_buffer"),
+            _dlt("normalize", "incubate", "dilution_buffer"),
+            _dsc("excess", "normalize", slot=1),
+            _dis("probe"),
+            _mix("hybridize", "normalize", "probe"),
+            _mag("readout_hold", "hybridize", hold=8),
+            _out("expression", "readout_hold"),
+        ],
+    )
+
+
+def with_dispense_size(
+    graph: SequencingGraph, size: tuple[int, int]
+) -> SequencingGraph:
+    """The same bioassay with every dispensed droplet resized.
+
+    The Fig. 3 degradation-pattern study sweeps droplet sizes 3x3 through
+    6x6 over the same bioassays; downstream droplet sizes follow from the
+    dispense size through the RJ helper's area arithmetic.
+    """
+    resized = [
+        MO(
+            name=mo.name,
+            type=mo.type,
+            pre=mo.pre,
+            locs=mo.locs,
+            size=size if mo.type is MOType.DIS else mo.size,
+            pre_output=mo.pre_output,
+            hold_cycles=mo.hold_cycles,
+            concentration=mo.concentration,
+        )
+        for mo in graph.mos
+    ]
+    return SequencingGraph(name=graph.name, mos=resized)
+
+
+#: The six evaluation benchmarks of Sec. VII (Figs. 15-16).
+EVALUATION_BIOASSAYS: dict[str, Callable[[], SequencingGraph]] = {
+    "master-mix": master_mix,
+    "cep": cep,
+    "serial-dilution": serial_dilution,
+    "nuip": nuip,
+    "covid-rat": covid_rat,
+    "covid-pcr": covid_pcr,
+}
+
+#: The three bioassays of the Fig. 3 degradation-pattern study.
+PATTERN_BIOASSAYS: dict[str, Callable[[], SequencingGraph]] = {
+    "chip": chip_assay,
+    "multiplex-invitro": multiplex_invitro,
+    "gene-expression": gene_expression,
+}
+
+#: Every bioassay in the suite.
+ALL_BIOASSAYS: dict[str, Callable[[], SequencingGraph]] = {
+    **EVALUATION_BIOASSAYS,
+    **PATTERN_BIOASSAYS,
+}

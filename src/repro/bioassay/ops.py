@@ -1,0 +1,146 @@
+"""Microfluidic operation (MO) types and records (Table III, Fig. 12).
+
+A bioassay's sequencing graph is preprocessed by a planner into an MO list;
+each entry is ``MO = (type, pre, loc)`` plus the droplet-size information the
+RJ helper needs.  The input/output droplet arity per type is Table III:
+
+    dis       (0, 1)   dispense a droplet (enter biochip)
+    out/dsc   (1, 0)   output / discard a droplet (exit biochip)
+    mix       (2, 1)   mix two droplets into one
+    spt       (1, 2)   split a droplet into two
+    dlt       (2, 2)   dilute a droplet using another (buffer) droplet
+    mag       (1, 1)   magnetic-bead sensing / immobilization
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class MOType(Enum):
+    """The microfluidic operation types of Table III."""
+
+    DIS = "dis"
+    OUT = "out"
+    DSC = "dsc"
+    MIX = "mix"
+    SPT = "spt"
+    DLT = "dlt"
+    MAG = "mag"
+
+
+#: (input droplets, output droplets) per MO type — Table III.
+MO_ARITY: dict[MOType, tuple[int, int]] = {
+    MOType.DIS: (0, 1),
+    MOType.OUT: (1, 0),
+    MOType.DSC: (1, 0),
+    MOType.MIX: (2, 1),
+    MOType.SPT: (1, 2),
+    MOType.DLT: (2, 2),
+    MOType.MAG: (1, 1),
+}
+
+#: How many center locations each MO type needs (split and dilute produce
+#: droplets at two distinct locations).
+MO_LOCATIONS: dict[MOType, int] = {
+    MOType.DIS: 1,
+    MOType.OUT: 1,
+    MOType.DSC: 1,
+    MOType.MIX: 1,
+    MOType.SPT: 2,
+    MOType.DLT: 2,
+    MOType.MAG: 1,
+}
+
+
+@dataclass(frozen=True)
+class MO:
+    """One microfluidic operation.
+
+    ``pre`` names the predecessor MOs supplying the input droplets (their
+    order matters: input ``i`` comes from ``pre[i]``); ``pre_output`` picks
+    which output droplet of each predecessor feeds this MO (defaults to
+    output 0 — relevant for split/dilute predecessors with two outputs).
+    ``locs`` are the center locations of Table IV; ``size`` the dispensed
+    droplet's ``(w, h)`` for dis MOs; ``hold_cycles`` how long the droplet is
+    held in place once routed (mixing time, magnetic sensing time, ...);
+    ``concentration`` the dispensed reagent's analyte concentration (0 for
+    pure buffer, 1 for neat sample) — the scheduler propagates it through
+    mixes, splits and dilutions so dilution chains can be validated.
+    """
+
+    name: str
+    type: MOType
+    pre: tuple[str, ...] = ()
+    locs: tuple[tuple[float, float], ...] = ()
+    size: tuple[int, int] | None = None
+    pre_output: tuple[int, ...] = ()
+    hold_cycles: int = 0
+    concentration: float = 0.0
+
+    def __post_init__(self) -> None:
+        n_in, _ = MO_ARITY[self.type]
+        if len(self.pre) != n_in:
+            raise ValueError(
+                f"{self.type.value} MO {self.name!r} needs {n_in} predecessors, "
+                f"got {len(self.pre)}"
+            )
+        if self.pre_output and len(self.pre_output) != len(self.pre):
+            raise ValueError(
+                f"MO {self.name!r}: pre_output must match pre in length"
+            )
+        if self.type is MOType.DIS and self.size is None:
+            raise ValueError(f"dispense MO {self.name!r} needs a droplet size")
+        if self.size is not None and (self.size[0] <= 0 or self.size[1] <= 0):
+            raise ValueError(f"MO {self.name!r} has a non-positive droplet size")
+        if self.hold_cycles < 0:
+            raise ValueError(f"MO {self.name!r} has negative hold cycles")
+        if not 0.0 <= self.concentration <= 1.0:
+            raise ValueError(
+                f"MO {self.name!r} concentration must lie in [0, 1]"
+            )
+        if self.locs and len(self.locs) != MO_LOCATIONS[self.type]:
+            raise ValueError(
+                f"{self.type.value} MO {self.name!r} needs "
+                f"{MO_LOCATIONS[self.type]} locations, got {len(self.locs)}"
+            )
+
+    @property
+    def n_inputs(self) -> int:
+        return MO_ARITY[self.type][0]
+
+    @property
+    def n_outputs(self) -> int:
+        return MO_ARITY[self.type][1]
+
+    @property
+    def placed(self) -> bool:
+        """Whether the planner has assigned this MO its locations."""
+        return len(self.locs) == MO_LOCATIONS[self.type]
+
+    def with_locs(self, locs: tuple[tuple[float, float], ...]) -> "MO":
+        """A placed copy of this MO (the planner's output)."""
+        return MO(
+            name=self.name,
+            type=self.type,
+            pre=self.pre,
+            locs=locs,
+            size=self.size,
+            pre_output=self.pre_output,
+            hold_cycles=self.hold_cycles,
+            concentration=self.concentration,
+        )
+
+
+#: Default hold durations (operational cycles) per MO type: mixing and
+#: magnetic sensing take time even after the droplets are in place.
+DEFAULT_HOLD_CYCLES: dict[MOType, int] = {
+    MOType.DIS: 0,
+    MOType.OUT: 0,
+    MOType.DSC: 0,
+    MOType.MIX: 4,
+    MOType.SPT: 2,
+    MOType.DLT: 4,
+    MOType.MAG: 8,
+}

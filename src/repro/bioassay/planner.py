@@ -1,0 +1,157 @@
+"""Module placement planner: sequencing graph -> placed MO list.
+
+The paper assumes the sequencing graph "is preprocessed by a planner that
+determines the dependencies and module placements of MOs" (Sec. VI-A,
+citing the MEDA synthesis flow of Zhong et al.).  This module is that
+substrate: it assigns every MO a center location on the chip.
+
+Placement policy (deterministic, router-independent):
+
+* **dispense** MOs go to reservoir ports spread along the south and north
+  chip edges (matching the Fig. 12 example, where droplets enter at
+  ``(17.5, 2.5)`` and ``(17.5, 28.5)``);
+* **output/discard** MOs go to exit ports on the east edge;
+* all other MOs are placed on a grid of interior module slots, each MO
+  taking the slot nearest to the centroid of its predecessors' locations
+  (minimizing expected routing distance), with a usage-count tiebreak that
+  spreads wear across the array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bioassay.ops import MO, MOType, MO_LOCATIONS
+from repro.bioassay.seqgraph import SequencingGraph
+
+#: Clearance kept between interior module slots and the chip edge.
+EDGE_CLEARANCE = 6
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Chip dimensions and slot-grid spacing for the placement planner."""
+
+    width: int
+    height: int
+    slot_spacing_x: int = 12
+    slot_spacing_y: int = 9
+
+    def __post_init__(self) -> None:
+        if self.width < 2 * EDGE_CLEARANCE + 4 or self.height < 2 * EDGE_CLEARANCE + 4:
+            raise ValueError(
+                f"chip {self.width}x{self.height} too small for the planner"
+            )
+
+
+class Planner:
+    """Assigns center locations to every MO of a sequencing graph."""
+
+    def __init__(self, config: PlannerConfig) -> None:
+        self.config = config
+        self._slots = self._build_slots()
+        self._slot_usage = [0] * len(self._slots)
+        self._south_ports = 0
+        self._north_ports = 0
+        self._exit_ports = 0
+
+    def _build_slots(self) -> list[tuple[float, float]]:
+        """Interior module slots, kept clear of reservoir and exit ports.
+
+        Slots start ``EDGE_CLEARANCE + 4`` MCs from each edge so a module's
+        droplet pattern (plus merge margin) cannot touch droplets parked at
+        the edge ports.
+        """
+        cfg = self.config
+        xs = list(range(EDGE_CLEARANCE + 4, cfg.width - EDGE_CLEARANCE - 2,
+                        cfg.slot_spacing_x))
+        ys = list(range(EDGE_CLEARANCE + 4, cfg.height - EDGE_CLEARANCE - 2,
+                        cfg.slot_spacing_y))
+        return [(float(x) + 0.5, float(y) + 0.5) for y in ys for x in xs]
+
+    def place(self, graph: SequencingGraph) -> SequencingGraph:
+        """Return a placed copy of the graph (already-placed MOs are kept)."""
+        placed: dict[str, tuple[tuple[float, float], ...]] = {}
+        locations: dict[str, tuple[float, float]] = {}
+        for mo in graph.topological():
+            if mo.placed:
+                locations[mo.name] = mo.locs[0]
+                continue
+            locs = self._place_mo(mo, locations)
+            placed[mo.name] = locs
+            locations[mo.name] = locs[0]
+        return graph.with_placement(placed)
+
+    def _place_mo(
+        self, mo: MO, known: dict[str, tuple[float, float]]
+    ) -> tuple[tuple[float, float], ...]:
+        n_locs = MO_LOCATIONS[mo.type]
+        if mo.type is MOType.DIS:
+            return (self._dispense_port(mo),)
+        if mo.type in (MOType.OUT, MOType.DSC):
+            return (self._exit_port(),)
+        centroid = self._centroid(mo, known)
+        primary = self._nearest_slot(centroid)
+        if n_locs == 1:
+            return (primary,)
+        secondary = self._nearest_slot(primary, exclude=primary)
+        return (primary, secondary)
+
+    def _centroid(
+        self, mo: MO, known: dict[str, tuple[float, float]]
+    ) -> tuple[float, float]:
+        coords = [known[p] for p in mo.pre if p in known]
+        if not coords:
+            return (self.config.width / 2, self.config.height / 2)
+        return (
+            sum(c[0] for c in coords) / len(coords),
+            sum(c[1] for c in coords) / len(coords),
+        )
+
+    def _nearest_slot(
+        self,
+        target: tuple[float, float],
+        exclude: tuple[float, float] | None = None,
+    ) -> tuple[float, float]:
+        best_idx = -1
+        best_key: tuple[float, int] | None = None
+        for idx, slot in enumerate(self._slots):
+            if exclude is not None and slot == exclude:
+                continue
+            dist = abs(slot[0] - target[0]) + abs(slot[1] - target[1])
+            key = (self._slot_usage[idx] * 5.0 + dist, idx)
+            if best_key is None or key < best_key:
+                best_key, best_idx = key, idx
+        if best_idx < 0:
+            raise RuntimeError("planner has no available module slots")
+        self._slot_usage[best_idx] += 1
+        return self._slots[best_idx]
+
+    def _dispense_port(self, mo: MO) -> tuple[float, float]:
+        """Alternate reservoir ports along the south and north edges."""
+        cfg = self.config
+        assert mo.size is not None
+        w, h = mo.size
+        spacing = max(w + 6, 10)
+        if self._south_ports <= self._north_ports:
+            idx = self._south_ports
+            self._south_ports += 1
+            x = min(6 + idx * spacing + w / 2, cfg.width - w / 2)
+            return (x - 0.5, h / 2 + 0.5)
+        idx = self._north_ports
+        self._north_ports += 1
+        x = min(6 + idx * spacing + w / 2, cfg.width - w / 2)
+        return (x - 0.5, cfg.height - h / 2 + 0.5)
+
+    def _exit_port(self) -> tuple[float, float]:
+        """Exit ports spaced along the east edge."""
+        cfg = self.config
+        idx = self._exit_ports
+        self._exit_ports += 1
+        y = min(8 + idx * 8, cfg.height - 4)
+        return (cfg.width - 2.5, float(y) + 0.5)
+
+
+def plan(graph: SequencingGraph, width: int, height: int) -> SequencingGraph:
+    """Convenience wrapper: place ``graph`` on a ``width x height`` chip."""
+    return Planner(PlannerConfig(width=width, height=height)).place(graph)

@@ -1,0 +1,15 @@
+"""MEDA biochip simulation substrate (Sec. VII-A, Fig. 14)."""
+
+from repro.biochip.chip import MedaChip
+from repro.biochip.recorder import ActuationRecorder
+from repro.biochip.simulator import ExecutionResult, MedaSimulator
+from repro.biochip.trace import ExecutionTrace, TraceFrame
+
+__all__ = [
+    "ActuationRecorder",
+    "ExecutionResult",
+    "ExecutionTrace",
+    "MedaChip",
+    "MedaSimulator",
+    "TraceFrame",
+]

@@ -1,0 +1,126 @@
+"""MEDA biochip state: actuation counts, degradation, health (Sec. VII-A).
+
+The simulator's chip tracks, per microelectrode, the degradation constants
+``(tau, c)``, the actuation count ``N`` and an optional sudden-failure plan.
+Derived quantities follow Sec. IV-B:
+
+* degradation  ``D = tau^(N/c)`` (zero once a faulty MC passes its failure
+  actuation count);
+* health       ``H = floor(2^b D)`` clipped to ``[0, 2^b - 1]`` — what the
+  droplet controller observes;
+* true force   ``F = D²`` — what the simulator rolls droplet motion with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.degradation.faults import FaultPlan, no_faults
+from repro.degradation.model import DEFAULT_HEALTH_BITS, quantize_health
+
+
+class MedaChip:
+    """A ``width x height`` MEDA microelectrode array with degradation state."""
+
+    def __init__(
+        self,
+        tau: np.ndarray,
+        c: np.ndarray,
+        fault_plan: FaultPlan | None = None,
+        bits: int = DEFAULT_HEALTH_BITS,
+    ) -> None:
+        if tau.shape != c.shape or tau.ndim != 2:
+            raise ValueError("tau and c must be equal-shape 2-D arrays")
+        if np.any(tau <= 0.0) or np.any(tau > 1.0):
+            raise ValueError("tau values must lie in (0, 1]")
+        if np.any(c <= 0.0):
+            raise ValueError("c values must be positive")
+        self.tau = tau.astype(float)
+        self.c = c.astype(float)
+        self.width, self.height = tau.shape
+        self.faults = fault_plan if fault_plan is not None else no_faults(*tau.shape)
+        if self.faults.fail_at.shape != tau.shape:
+            raise ValueError("fault plan shape does not match the chip")
+        self.bits = bits
+        self.actuations = np.zeros(tau.shape, dtype=float)
+
+    @classmethod
+    def sample(
+        cls,
+        width: int,
+        height: int,
+        rng: np.random.Generator,
+        tau_range: tuple[float, float] = (0.5, 0.9),
+        c_range: tuple[float, float] = (200.0, 500.0),
+        fault_plan: FaultPlan | None = None,
+        bits: int = DEFAULT_HEALTH_BITS,
+    ) -> "MedaChip":
+        """A chip with per-MC constants sampled as in Sec. VII-B.
+
+        ``c ~ U(200, 500)`` and ``tau ~ U(0.5, 0.9)`` by default; once
+        assigned the constants stay fixed for the chip's lifetime.
+        """
+        tau = rng.uniform(*tau_range, size=(width, height))
+        c = rng.uniform(*c_range, size=(width, height))
+        return cls(tau=tau, c=c, fault_plan=fault_plan, bits=bits)
+
+    # -- state evolution -----------------------------------------------------
+
+    def apply_actuation(self, actuation: np.ndarray) -> None:
+        """Apply one cycle's actuation matrix ``U`` (0/1 per MC)."""
+        if actuation.shape != (self.width, self.height):
+            raise ValueError(
+                f"actuation shape {actuation.shape} does not match chip "
+                f"({self.width}, {self.height})"
+            )
+        self.actuations += actuation.astype(float)
+
+    def apply_sensing(
+        self, mask: np.ndarray | None = None, weight: float = 0.1
+    ) -> None:
+        """Apply one cycle's *sensing* stress.
+
+        Droplet/health sensing charges and discharges the microelectrode
+        like a (weaker) actuation, so full-array scans also consume
+        lifetime — the motivation for selective sensing (Liang et al.,
+        TCAD'20, the paper's ref. [32]).  ``mask`` limits the scan to a
+        subset of MCs (``None`` = full-array scan); ``weight`` is the
+        charge-trapping stress of one sensing cycle relative to one
+        actuation.
+        """
+        if weight < 0.0:
+            raise ValueError("sensing weight cannot be negative")
+        if mask is None:
+            self.actuations += weight
+            return
+        if mask.shape != (self.width, self.height):
+            raise ValueError(
+                f"sensing mask shape {mask.shape} does not match chip "
+                f"({self.width}, {self.height})"
+            )
+        self.actuations += weight * mask.astype(float)
+
+    # -- derived matrices ------------------------------------------------------
+
+    def degradation(self) -> np.ndarray:
+        """The hidden degradation matrix ``D`` (with sudden faults applied)."""
+        d = self.tau ** (self.actuations / self.c)
+        d[self.faults.failed_mask(self.actuations)] = 0.0
+        return d
+
+    def health(self) -> np.ndarray:
+        """The observable health matrix ``H`` (b-bit quantization of D)."""
+        return np.asarray(quantize_health(self.degradation(), self.bits))
+
+    def true_force(self) -> np.ndarray:
+        """Per-MC relative EWOD force ``F = D²`` (eq. 2)."""
+        return self.degradation() ** 2
+
+    @property
+    def total_actuations(self) -> int:
+        """Total actuation-equivalent stress applied so far, over all MCs.
+
+        Sensing stress contributes fractionally (see :meth:`apply_sensing`),
+        so the total is rounded to the nearest whole event.
+        """
+        return int(round(self.actuations.sum()))

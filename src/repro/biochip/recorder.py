@@ -1,0 +1,51 @@
+"""Actuation-history recording for the Fig. 3 correlation study.
+
+Sec. III-C records, per microelectrode, the Boolean actuation vector
+``A_ij in {0,1}^N`` over a bioassay execution and studies the correlation
+coefficient between pairs of MCs as a function of their Manhattan distance.
+The recorder captures the per-cycle actuation matrices compactly (one
+``uint8`` plane per cycle) and exposes them stacked for the analysis layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ActuationRecorder:
+    """Accumulates the per-cycle actuation matrices of one execution."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("recorder dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._frames: list[np.ndarray] = []
+
+    def record(self, actuation: np.ndarray) -> None:
+        """Store one cycle's actuation matrix."""
+        if actuation.shape != (self.width, self.height):
+            raise ValueError(
+                f"actuation shape {actuation.shape} does not match recorder "
+                f"({self.width}, {self.height})"
+            )
+        self._frames.append(actuation.astype(np.uint8).copy())
+
+    @property
+    def num_cycles(self) -> int:
+        return len(self._frames)
+
+    def vectors(self) -> np.ndarray:
+        """The actuation vectors, shape ``(W, H, N)`` for ``N`` cycles.
+
+        ``vectors()[i, j]`` is the paper's ``A_ij``.
+        """
+        if not self._frames:
+            raise ValueError("nothing recorded yet")
+        return np.stack(self._frames, axis=-1)
+
+    def actuation_counts(self) -> np.ndarray:
+        """Total actuations per MC over the recorded window."""
+        if not self._frames:
+            return np.zeros((self.width, self.height), dtype=np.int64)
+        return np.sum(np.stack(self._frames), axis=0).astype(np.int64)

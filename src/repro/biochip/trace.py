@@ -1,0 +1,88 @@
+"""Execution traces: per-cycle snapshots of a bioassay run.
+
+A trace records, for every operational cycle, the droplet patterns on the
+chip and the cumulative actuation count, plus the scheduler's MO lifecycle
+events.  Used for debugging routing decisions, rendering replays, and the
+scheduler-policy ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.scheduler import MOEvent
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class TraceFrame:
+    """One cycle's snapshot."""
+
+    cycle: int
+    droplets: dict[int, Rect]
+    moving: tuple[int, ...]
+    total_actuations: int
+
+
+@dataclass
+class ExecutionTrace:
+    """The full history of one execution."""
+
+    frames: list[TraceFrame] = field(default_factory=list)
+    events: list[MOEvent] = field(default_factory=list)
+
+    def record(self, frame: TraceFrame) -> None:
+        if self.frames and frame.cycle <= self.frames[-1].cycle:
+            raise ValueError("trace frames must have increasing cycle numbers")
+        self.frames.append(frame)
+
+    @property
+    def num_cycles(self) -> int:
+        return len(self.frames)
+
+    def droplet_path(self, droplet_id: int) -> list[tuple[int, Rect]]:
+        """The (cycle, pattern) history of one droplet."""
+        return [
+            (f.cycle, f.droplets[droplet_id])
+            for f in self.frames
+            if droplet_id in f.droplets
+        ]
+
+    def max_concurrent_droplets(self) -> int:
+        """Peak droplet concurrency over the execution."""
+        return max((len(f.droplets) for f in self.frames), default=0)
+
+    def stall_cycles(self, droplet_id: int) -> int:
+        """Cycles in which the droplet attempted a move but did not change.
+
+        Counts frames where the droplet was in the moving set yet occupies
+        the same pattern in the next frame — the observable cost of
+        degraded frontier microelectrodes.
+        """
+        path = {f.cycle: f for f in self.frames}
+        stalls = 0
+        cycles = sorted(path)
+        for a, b in zip(cycles, cycles[1:]):
+            fa, fb = path[a], path[b]
+            if (
+                droplet_id in fa.moving
+                and droplet_id in fa.droplets
+                and droplet_id in fb.droplets
+                and fa.droplets[droplet_id] == fb.droplets[droplet_id]
+            ):
+                stalls += 1
+        return stalls
+
+    def timeline(self) -> str:
+        """A human-readable MO timeline built from the scheduler events."""
+        lines = []
+        started: dict[str, int] = {}
+        for event in self.events:
+            if event.kind == "activated":
+                started[event.mo] = event.cycle
+            elif event.kind == "done":
+                begin = started.get(event.mo, event.cycle)
+                lines.append(
+                    f"  cycle {begin:4d} - {event.cycle:4d}  {event.mo}"
+                )
+        return "MO timeline:\n" + "\n".join(lines) if lines else "MO timeline: (empty)"

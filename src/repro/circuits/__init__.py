@@ -1,0 +1,51 @@
+"""Circuit-level substrate: the microelectrode cell and its sensing path.
+
+Replaces the paper's HSPICE simulations (Fig. 2) with closed-form RC
+transients; see DESIGN.md for the substitution argument.
+"""
+
+from repro.circuits.mc_cell import (
+    C_DEGRADED,
+    C_HEALTHY,
+    C_PARTIAL,
+    DFF_CLOCK_SKEW_S,
+    VDD,
+    HealthSenseConfig,
+    OriginalCell,
+    ProposedCell,
+    default_proposed_cell,
+    health_capacitance,
+    transistor_states,
+)
+from repro.circuits.rc import (
+    RCPath,
+    capacitance_from_charging_time,
+    parallel_plate_capacitance,
+)
+from repro.circuits.sensing import (
+    MultiEdgeSenseConfig,
+    OperationalCycle,
+    ScanChain,
+    multi_edge_health,
+)
+
+__all__ = [
+    "C_DEGRADED",
+    "C_HEALTHY",
+    "C_PARTIAL",
+    "DFF_CLOCK_SKEW_S",
+    "VDD",
+    "HealthSenseConfig",
+    "MultiEdgeSenseConfig",
+    "OperationalCycle",
+    "OriginalCell",
+    "ProposedCell",
+    "RCPath",
+    "ScanChain",
+    "capacitance_from_charging_time",
+    "default_proposed_cell",
+    "health_capacitance",
+    "multi_edge_health",
+    "parallel_plate_capacitance",
+    "transistor_states",
+]

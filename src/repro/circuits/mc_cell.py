@@ -1,0 +1,209 @@
+"""Microelectrode-cell (MC) models: the original and the proposed design.
+
+Sec. III of the paper describes an MC as a microelectrode plus a control
+circuit (transistors T1-T4 driven by ACT, ACT_b and SEL) and a sensing module
+built around one D flip-flop (original design, Fig. 1a) or two D flip-flops
+with skewed clocks (proposed design, Fig. 1b).
+
+Sensing works by charging the electrode-to-top-plate capacitor and sampling a
+comparator against the charging waveform:
+
+* **Droplet sensing** (both designs): a droplet above the microelectrode
+  raises the capacitance by orders of magnitude (the droplet's permittivity
+  dwarfs the filler fluid's), so the charging time blows past the sampling
+  edge and the DFF latches the droplet-present code.
+* **Health sensing** (proposed design only): charge trapped in the dielectric
+  perturbs the effective capacitance by a few attofarads (Table I:
+  2.375 / 2.380 / 2.385 fF for healthy / partially / completely degraded).
+  The added DFF's clock edge arrives a fixed skew (5 ns in Fig. 2) after the
+  original DFF's edge; where the charging waveform crosses the comparator
+  threshold relative to the two edges yields a 2-bit health code:
+  ``11`` healthy, ``01`` partially degraded, ``00`` completely degraded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.circuits.rc import RCPath
+
+#: Table I capacitances (farads).
+C_HEALTHY = 2.375e-15
+C_PARTIAL = 2.380e-15
+C_DEGRADED = 2.385e-15
+
+#: Nominal supply of the fabricated MC array (Sec. III-B).
+VDD = 3.3
+
+#: Clock skew between the original and the added DFF (Fig. 2).
+DFF_CLOCK_SKEW_S = 5e-9
+
+
+class SensePhase(Enum):
+    """The two phases of the MC sensing sequence (Sec. III-B)."""
+
+    CHARGE = "charge"
+    DISCHARGE = "discharge"
+
+
+@dataclass(frozen=True)
+class TransistorStates:
+    """On/off states of T1-T4 for a given control-signal assignment."""
+
+    t1: bool
+    t2: bool
+    t3: bool
+    t4: bool
+
+
+def transistor_states(act: int, act_b: int, sel: int) -> TransistorStates:
+    """Switch states of the MC control circuit for (ACT, ACT_b, SEL).
+
+    Reproduces the two sensing phases described in Sec. III-B:
+
+    * ``ACT=0, ACT_b=1, SEL=1`` — T1, T2, T4 on, T3 off; the bottom plate is
+      tied to VDD and charges to 3.3 V.
+    * ``ACT=0, ACT_b=0, SEL=1`` — T1, T3, T4 on, T2 off; the bottom plate is
+      tied to ground and discharges.
+
+    ``ACT=1`` is the actuation configuration: the electrode is driven by the
+    EWOD actuation voltage and the sense path is disabled.
+    """
+    for name, value in (("ACT", act), ("ACT_b", act_b), ("SEL", sel)):
+        if value not in (0, 1):
+            raise ValueError(f"{name} must be 0 or 1, got {value}")
+    if act == 1:
+        return TransistorStates(t1=False, t2=False, t3=False, t4=False)
+    return TransistorStates(
+        t1=bool(sel),
+        t2=bool(act_b),
+        t3=not act_b,
+        t4=bool(sel),
+    )
+
+
+@dataclass(frozen=True)
+class HealthSenseConfig:
+    """Timing configuration of the proposed health-sensing circuit.
+
+    The comparator threshold sits at ``v_threshold``; the original DFF clock
+    rises at ``t_clk`` and the added DFF at ``t_clk + clock_skew``.  The
+    sense-path resistance is chosen so that one attofarad-scale capacitance
+    step shifts the threshold-crossing time by one clock skew — the design
+    degree of freedom Fig. 2 demonstrates.
+    """
+
+    resistance: float
+    v_supply: float = VDD
+    v_threshold: float = VDD / 2
+    t_clk: float = 0.0
+    clock_skew: float = DFF_CLOCK_SKEW_S
+
+    @staticmethod
+    def calibrated(
+        c_healthy: float = C_HEALTHY,
+        c_partial: float = C_PARTIAL,
+        clock_skew: float = DFF_CLOCK_SKEW_S,
+        v_supply: float = VDD,
+        v_threshold: float = VDD / 2,
+    ) -> "HealthSenseConfig":
+        """Pick R and the clock phase so the three classes straddle the edges.
+
+        The charging time of a capacitance ``C`` is
+        ``t*(C) = R C ln(Vs / (Vs - Vth))``, linear in ``C``; we solve for the
+        ``R`` that makes the healthy-to-partial capacitance step correspond to
+        exactly one clock skew, then place the original DFF edge halfway
+        between the healthy and partial crossing times.
+        """
+        if c_partial <= c_healthy:
+            raise ValueError("partial capacitance must exceed healthy capacitance")
+        log_term = np.log(v_supply / (v_supply - v_threshold))
+        resistance = clock_skew / ((c_partial - c_healthy) * log_term)
+        t_healthy = resistance * c_healthy * log_term
+        return HealthSenseConfig(
+            resistance=resistance,
+            v_supply=v_supply,
+            v_threshold=v_threshold,
+            t_clk=t_healthy + clock_skew / 2,
+            clock_skew=clock_skew,
+        )
+
+    def crossing_time(self, capacitance: float) -> float:
+        """Time at which the charging node first reaches the threshold."""
+        path = RCPath(self.resistance, capacitance, self.v_supply)
+        return path.charging_time(self.v_threshold)
+
+    def sample_bits(self, capacitance: float) -> tuple[int, int]:
+        """The (original, added) DFF bits for a given effective capacitance.
+
+        A DFF latches ``1`` when the node has already crossed the comparator
+        threshold by its clock edge.  Healthy cells charge fastest (smallest
+        C) and latch ``(1, 1)``; a partially degraded cell crosses between the
+        two edges and latches ``(0, 1)``; a completely degraded cell crosses
+        after both and latches ``(0, 0)`` — the codes of Sec. III-B.
+        """
+        t_cross = self.crossing_time(capacitance)
+        original = int(t_cross <= self.t_clk)
+        added = int(t_cross <= self.t_clk + self.clock_skew)
+        return (original, added)
+
+
+def health_capacitance(degradation: float, c_healthy: float = C_HEALTHY,
+                       c_degraded: float = C_DEGRADED) -> float:
+    """Effective capacitance of a microelectrode at degradation level ``D``.
+
+    Interpolates linearly between the healthy (``D = 1``) and completely
+    degraded (``D = 0``) capacitances of Table I; charge trapping raises the
+    capacitance as the cell degrades (Sec. III-B / ref. [30]).
+    """
+    if not 0.0 <= degradation <= 1.0:
+        raise ValueError(f"degradation must be in [0, 1], got {degradation}")
+    return c_degraded - degradation * (c_degraded - c_healthy)
+
+
+@dataclass(frozen=True)
+class OriginalCell:
+    """The original MC design (Fig. 1a): a single DFF, droplet sensing only."""
+
+    config: HealthSenseConfig
+
+    def sense_droplet(self, droplet_present: bool, degradation: float = 1.0) -> int:
+        """One-bit droplet-presence code (``1`` = droplet overhead).
+
+        A droplet multiplies the effective capacitance by orders of
+        magnitude, so the charging waveform cannot reach the threshold by the
+        droplet-sensing clock edge.  That edge sits far later than the
+        health-sensing edges (the droplet capacitance step is ~1000x the
+        attofarad-scale degradation step), so degradation never masquerades
+        as a droplet.
+        """
+        capacitance = health_capacitance(degradation)
+        if droplet_present:
+            capacitance *= 1e3
+        t_cross = self.config.crossing_time(capacitance)
+        t_clk_droplet = 10.0 * (self.config.t_clk + self.config.clock_skew)
+        return int(t_cross > t_clk_droplet)
+
+
+@dataclass(frozen=True)
+class ProposedCell:
+    """The proposed MC design (Fig. 1b): two skewed DFFs, 2-bit health code."""
+
+    config: HealthSenseConfig
+
+    def sense_health(self, degradation: float) -> tuple[int, int]:
+        """The 2-bit health code for a cell at degradation level ``D``."""
+        return self.config.sample_bits(health_capacitance(degradation))
+
+    def health_level(self, degradation: float) -> int:
+        """The health code as an integer in [0, 3] (``3`` = fully healthy)."""
+        original, added = self.sense_health(degradation)
+        return 2 * original + added
+
+
+def default_proposed_cell() -> ProposedCell:
+    """A proposed cell with the calibrated Fig. 2 timing."""
+    return ProposedCell(HealthSenseConfig.calibrated())

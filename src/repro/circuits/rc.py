@@ -1,0 +1,128 @@
+"""First-order RC transient models for the microelectrode sense path.
+
+The MC sensing mechanism (Sec. III-B) charges and discharges the capacitor
+formed by the bottom-plate microelectrode and the grounded top plate through a
+series resistance, and detects a droplet (or, with the proposed design,
+degradation) from the *charging time*.  The PCB experiment of Sec. IV-A uses
+the same physics explicitly:
+
+    V_C(t) = Vpp (1 - e^(-t / RC))
+
+These closed-form transients replace the paper's HSPICE runs.  The
+discrimination result of Fig. 2 depends only on where the charging waveform
+crosses the comparator threshold relative to the two DFF clock edges, which
+the analytic model reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RCPath:
+    """A series-RC charge/discharge path.
+
+    ``resistance`` in ohms, ``capacitance`` in farads, ``v_supply`` in volts.
+    ``v_initial`` models residual (trapped) charge already on the node when
+    charging starts.
+    """
+
+    resistance: float
+    capacitance: float
+    v_supply: float
+    v_initial: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0.0 or self.capacitance <= 0.0:
+            raise ValueError("R and C must be positive")
+        if self.v_supply <= 0.0:
+            raise ValueError("supply voltage must be positive")
+        if not 0.0 <= self.v_initial < self.v_supply:
+            raise ValueError("initial voltage must lie in [0, v_supply)")
+
+    @property
+    def time_constant(self) -> float:
+        """The RC time constant in seconds."""
+        return self.resistance * self.capacitance
+
+    def charge_voltage(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Node voltage ``t`` seconds after charging starts.
+
+        ``V(t) = Vs - (Vs - V0) e^(-t/RC)``; reduces to the paper's
+        ``Vpp (1 - e^(-t/RC))`` when ``V0 = 0``.
+        """
+        t = np.asarray(t, dtype=float)
+        v = self.v_supply - (self.v_supply - self.v_initial) * np.exp(
+            -t / self.time_constant
+        )
+        return float(v) if v.ndim == 0 else v
+
+    def discharge_voltage(
+        self, t: float | np.ndarray, v_start: float | None = None
+    ) -> float | np.ndarray:
+        """Node voltage ``t`` seconds after discharging from ``v_start``.
+
+        ``v_start`` defaults to the supply voltage (a fully charged node).
+        """
+        v0 = self.v_supply if v_start is None else v_start
+        t = np.asarray(t, dtype=float)
+        v = v0 * np.exp(-t / self.time_constant)
+        return float(v) if v.ndim == 0 else v
+
+    def charging_time(self, v_threshold: float) -> float:
+        """Time for the charging node to first reach ``v_threshold``.
+
+        Solves ``V(t*) = v_threshold`` in closed form.  Returns ``inf`` when
+        the threshold can never be reached and ``0`` when the node starts at
+        or above it.
+        """
+        if v_threshold >= self.v_supply:
+            return float("inf")
+        if v_threshold <= self.v_initial:
+            return 0.0
+        return self.time_constant * np.log(
+            (self.v_supply - self.v_initial) / (self.v_supply - v_threshold)
+        )
+
+    def discharging_time(self, v_threshold: float, v_start: float | None = None) -> float:
+        """Time for the discharging node to first fall to ``v_threshold``."""
+        v0 = self.v_supply if v_start is None else v_start
+        if v_threshold <= 0.0:
+            return float("inf")
+        if v_threshold >= v0:
+            return 0.0
+        return self.time_constant * np.log(v0 / v_threshold)
+
+
+def capacitance_from_charging_time(
+    t_star: float, resistance: float, v_supply: float, v_threshold: float
+) -> float:
+    """Invert the charging-time equation to recover an effective capacitance.
+
+    This is the measurement procedure of the PCB experiment (Sec. IV-A): an
+    oscilloscope observes the time ``t*`` at which the electrode voltage
+    reaches ``v_threshold`` and the effective capacitance follows from the RC
+    charge equation.
+    """
+    if not 0.0 < v_threshold < v_supply:
+        raise ValueError("threshold must lie strictly between 0 and the supply")
+    if t_star <= 0.0:
+        raise ValueError("charging time must be positive")
+    return t_star / (resistance * np.log(v_supply / (v_supply - v_threshold)))
+
+
+def parallel_plate_capacitance(
+    area_m2: float, permittivity: float, gap_m: float
+) -> float:
+    """Parallel-plate capacitance ``C = eps * A / d``.
+
+    With the Table-I parameters (50x50 um² electrode, silicon-oil
+    permittivity 19e-12 F/m and a 20 um filler gap) this reproduces the
+    healthy-microelectrode capacitance ``C_o ≈ 2.375 fF``.
+    """
+    if area_m2 <= 0.0 or permittivity <= 0.0 or gap_m <= 0.0:
+        raise ValueError("area, permittivity and gap must be positive")
+    return permittivity * area_m2 / gap_m

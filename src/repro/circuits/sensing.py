@@ -1,0 +1,190 @@
+"""Scan-chain and operational-cycle model of the MEDA sensing subsystem.
+
+Sec. III-A: in each *operational cycle* the controller (1) shifts an actuation
+bitstream into the MC array through a scan chain, (2) actuates the MCs,
+(3) switches all MCs to sensing mode to capture droplet locations (and, with
+the proposed design, health levels), and (4) shifts the sensing results out as
+a bitstream.
+
+This module is the circuit-faithful path: every health code is produced by
+simulating the RC charging waveform against staggered DFF clock edges.  The
+biochip simulator uses the vectorized quantization in
+:mod:`repro.degradation.model` for speed; :func:`multi_edge_health` is proven
+equivalent to that quantization by the unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.mc_cell import (
+    C_DEGRADED,
+    C_HEALTHY,
+    VDD,
+    HealthSenseConfig,
+    health_capacitance,
+)
+from repro.circuits.rc import RCPath
+
+
+class ScanChain:
+    """A serial scan chain over ``length`` single-bit cells.
+
+    Models the shift-register used to move actuation patterns into and
+    sensing results out of the MC array.  Bits are shifted in/out LSB-first;
+    a full load or unload takes ``length`` shift clocks, which is what makes
+    an operational cycle's latency proportional to the array size.
+    """
+
+    def __init__(self, length: int) -> None:
+        if length <= 0:
+            raise ValueError("scan chain needs a positive length")
+        self.length = length
+        self._bits = [0] * length
+        self.shift_count = 0
+
+    def shift_in(self, bit: int) -> int:
+        """Shift one bit in; returns the bit that falls off the far end."""
+        if bit not in (0, 1):
+            raise ValueError(f"scan bits must be 0 or 1, got {bit}")
+        out = self._bits[-1]
+        self._bits = [bit] + self._bits[:-1]
+        self.shift_count += 1
+        return out
+
+    def load(self, bits: list[int]) -> list[int]:
+        """Shift a full pattern in; returns the pattern shifted out."""
+        if len(bits) != self.length:
+            raise ValueError(
+                f"pattern length {len(bits)} does not match chain length {self.length}"
+            )
+        return [self.shift_in(b) for b in reversed(bits)][::-1]
+
+    def snapshot(self) -> list[int]:
+        """The bits currently held in the chain (index 0 = farthest cell)."""
+        return list(self._bits)
+
+
+@dataclass(frozen=True)
+class MultiEdgeSenseConfig:
+    """Health sensing with ``2^b - 1`` staggered clock edges.
+
+    Sec. III-B notes that "by carefully controlling the rising edges of the
+    two DFFs, we can dynamically measure the health status"; with GHz-range
+    CMOS frequency dividers the sampling edge can be re-phased across
+    operational cycles.  Generalizing the 2-DFF design, ``2^b - 1`` edges
+    placed at the charging times of the quantization-bucket boundaries yield
+    exactly the paper's ``H = floor(2^b D)`` code:
+
+    the charging time ``t*(D)`` is strictly decreasing in ``D``, so the number
+    of boundary edges the waveform has already crossed equals the bucket
+    index.
+    """
+
+    bits: int = 2
+    resistance: float = 1.0e9
+    v_supply: float = VDD
+    v_threshold: float = VDD / 2
+    c_healthy: float = C_HEALTHY
+    c_degraded: float = C_DEGRADED
+
+    def crossing_time(self, degradation: float) -> float:
+        """Threshold-crossing time of a cell at degradation level ``D``."""
+        capacitance = health_capacitance(
+            degradation, c_healthy=self.c_healthy, c_degraded=self.c_degraded
+        )
+        path = RCPath(self.resistance, capacitance, self.v_supply)
+        return path.charging_time(self.v_threshold)
+
+    def edge_times(self) -> list[float]:
+        """Clock-edge times at the quantization-bucket boundaries.
+
+        Edge ``k`` (1-based) sits at the crossing time of ``D = k / 2^b``;
+        a waveform that crossed before edge ``k`` certifies ``D >= k / 2^b``.
+        """
+        levels = 1 << self.bits
+        return [self.crossing_time(k / levels) for k in range(1, levels)]
+
+    def sense(self, degradation: float) -> int:
+        """The ``b``-bit health code measured for degradation level ``D``."""
+        if not 0.0 <= degradation <= 1.0:
+            raise ValueError(f"degradation must be in [0, 1], got {degradation}")
+        t_cross = self.crossing_time(degradation)
+        return sum(1 for edge in self.edge_times() if t_cross <= edge)
+
+
+def multi_edge_health(
+    degradation: np.ndarray, bits: int = 2, config: MultiEdgeSenseConfig | None = None
+) -> np.ndarray:
+    """Circuit-level health matrix for a degradation matrix ``D``.
+
+    Runs the staggered-edge sensing cell by cell.  Slow but faithful; the
+    tests verify it agrees with :func:`repro.degradation.model.quantize_health`
+    everywhere except exactly at bucket boundaries (where the two round in
+    the same direction by construction).
+    """
+    cfg = config if config is not None else MultiEdgeSenseConfig(bits=bits)
+    if cfg.bits != bits:
+        raise ValueError("config bits disagree with requested bits")
+    out = np.empty(degradation.shape, dtype=int)
+    for idx in np.ndindex(*degradation.shape):
+        out[idx] = cfg.sense(float(degradation[idx]))
+    return out
+
+
+@dataclass
+class OperationalCycle:
+    """One scan-in / actuate / sense / scan-out cycle over a W x H array.
+
+    ``sense_config`` supplies the health-sensing timing; droplet sensing uses
+    the two-DFF config's droplet edge.  The object keeps cycle counters so
+    tests can assert the latency bookkeeping (one full scan-in plus one full
+    scan-out per cycle).
+    """
+
+    width: int
+    height: int
+    health_config: MultiEdgeSenseConfig = field(default_factory=MultiEdgeSenseConfig)
+    cycles_run: int = 0
+
+    def __post_init__(self) -> None:
+        self._chain = ScanChain(self.width * self.height)
+
+    def run(
+        self, actuation: np.ndarray, degradation: np.ndarray, occupancy: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Execute one operational cycle.
+
+        ``actuation`` is the 0/1 actuation matrix scanned in; ``degradation``
+        the hidden per-MC degradation levels; ``occupancy`` the boolean
+        droplet-presence matrix.  Returns ``(Y, H)``: the sensed droplet map
+        and the sensed health matrix, both scanned out of the array.
+        """
+        for name, mat in (
+            ("actuation", actuation),
+            ("degradation", degradation),
+            ("occupancy", occupancy),
+        ):
+            if mat.shape != (self.width, self.height):
+                raise ValueError(
+                    f"{name} shape {mat.shape} does not match array "
+                    f"({self.width}, {self.height})"
+                )
+        # Scan the actuation pattern in (flattened row-major).
+        self._chain.load([int(b) for b in actuation.astype(int).ravel()])
+        # Sense: droplet presence dominates the capacitance; health sensing
+        # is meaningful only where no droplet sits on the cell.
+        health = multi_edge_health(degradation, bits=self.health_config.bits,
+                                   config=self.health_config)
+        y = occupancy.astype(int)
+        # Scan the results out (droplet bits first, then health bits).
+        self._chain.load([int(b) for b in y.ravel()])
+        self.cycles_run += 1
+        return y, health
+
+
+def droplet_sense_config() -> HealthSenseConfig:
+    """The calibrated two-DFF timing used for droplet/health discrimination."""
+    return HealthSenseConfig.calibrated()

@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the bioassay suite with op counts;
+* ``run`` — execute a bioassay on a sampled chip and print the outcome
+  (optionally the wear heatmap);
+* ``synth`` — synthesize a single routing job and print the route map;
+* ``degradation`` — print the D(n)/H(n) lifetime table for given (tau, c).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    from repro.bioassay.library import ALL_BIOASSAYS, EVALUATION_BIOASSAYS
+
+    print(f"{'bioassay':18s} {'MOs':>4s} {'depth':>5s}  role")
+    for name, builder in sorted(ALL_BIOASSAYS.items()):
+        graph = builder()
+        role = "evaluation" if name in EVALUATION_BIOASSAYS else "pattern-study"
+        print(f"{name:18s} {len(graph):4d} {graph.depth:5d}  {role}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.analysis.render import render_degradation
+    from repro.bioassay.library import ALL_BIOASSAYS
+    from repro.bioassay.planner import plan
+    from repro.biochip.chip import MedaChip
+    from repro.biochip.simulator import MedaSimulator
+    from repro.core.baseline import AdaptiveRouter, BaselineRouter
+    from repro.core.scheduler import HybridScheduler
+
+    if args.file:
+        from repro.bioassay.io import load_graph
+
+        graph = plan(load_graph(args.file), args.width, args.height)
+    elif args.bioassay in ALL_BIOASSAYS:
+        graph = plan(ALL_BIOASSAYS[args.bioassay](), args.width, args.height)
+    else:
+        print(f"unknown bioassay {args.bioassay!r}; try `repro list`",
+              file=sys.stderr)
+        return 2
+    chip = MedaChip.sample(
+        args.width, args.height, np.random.default_rng(args.seed),
+        tau_range=(args.tau_min, args.tau_max),
+        c_range=(args.c_min, args.c_max),
+    )
+    if args.router == "adaptive":
+        router = AdaptiveRouter()
+    else:
+        router = BaselineRouter(args.width, args.height)
+
+    total_failures = 0
+    for run_idx in range(args.runs):
+        scheduler = HybridScheduler(graph, router, args.width, args.height)
+        sim = MedaSimulator(chip, np.random.default_rng(args.seed + 1 + run_idx))
+        result = sim.run(scheduler, max_cycles=args.max_cycles)
+        status = "ok" if result.success else f"FAILED ({result.failure})"
+        print(f"run {run_idx + 1}: {status:24s} cycles={result.cycles:4d} "
+              f"replans={result.resyntheses}")
+        total_failures += 0 if result.success else 1
+    if args.show_wear:
+        print("\nchip wear (light = healthy, dense = degraded):")
+        print(render_degradation(chip.degradation()))
+    return 1 if total_failures else 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.analysis.render import render_route
+    from repro.core.routing_job import RoutingJob, zone
+    from repro.core.strategy import strategy_from_synthesis
+    from repro.core.synthesis import synthesize
+    from repro.geometry.rect import Rect
+
+    start = Rect(args.start[0], args.start[1],
+                 args.start[0] + args.droplet - 1,
+                 args.start[1] + args.droplet - 1)
+    goal = Rect(args.goal[0], args.goal[1],
+                args.goal[0] + args.droplet - 1,
+                args.goal[1] + args.droplet - 1)
+    hazard = (
+        Rect(1, 1, args.width, args.height)
+        if args.full_chip
+        else zone(start, goal, args.width, args.height)
+    )
+    job = RoutingJob(start, goal, hazard)
+    health = np.full((args.width, args.height), 3)
+    rng = np.random.default_rng(args.seed)
+    if args.dead_fraction > 0:
+        dead = rng.random((args.width, args.height)) < args.dead_fraction
+        health[dead] = 0
+        health[start.xa - 1:start.xb, start.ya - 1:start.yb] = 3
+        health[goal.xa - 1:goal.xb, goal.ya - 1:goal.yb] = 3
+    result = synthesize(job, health)
+    if not result.exists:
+        print("no strategy exists (goal unreachable under this health matrix)")
+        return 1
+    print(f"states={result.model.num_states} "
+          f"transitions={result.model.num_transitions} "
+          f"E[cycles]={result.expected_cycles:.2f} "
+          f"synthesized in {result.total_time:.2f}s\n")
+    strategy = strategy_from_synthesis(job, result)
+    assert strategy is not None
+    print(render_route(strategy, health))
+    return 0
+
+
+def _cmd_degradation(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_series
+    from repro.degradation.model import DegradationParams, quantize_health
+
+    params = DegradationParams(tau=args.tau, c=args.c)
+    ns = np.arange(0, args.n_max + 1, max(args.n_max // 16, 1))
+    d = np.asarray(params.degradation(ns))
+    print(format_series(
+        "n", [int(n) for n in ns],
+        {
+            "D(n)": [f"{v:.3f}" for v in d],
+            f"H(n) b={args.bits}": [
+                str(int(v)) for v in np.asarray(quantize_health(d, args.bits))
+            ],
+            "force F(n)": [f"{v:.3f}" for v in d**2],
+        },
+        title=f"degradation lifetime for tau={args.tau}, c={args.c}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive droplet routing for MEDA biochips (DATE 2021 "
+                    "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the bioassay suite").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="execute a bioassay on a sampled chip")
+    run.add_argument("--bioassay", default="covid-rat")
+    run.add_argument("--file", default=None,
+                     help="load the bioassay from a JSON file instead")
+    run.add_argument("--router", choices=("adaptive", "baseline"),
+                     default="adaptive")
+    run.add_argument("--runs", type=int, default=1,
+                     help="consecutive executions on the same chip")
+    run.add_argument("--width", type=int, default=60)
+    run.add_argument("--height", type=int, default=30)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--max-cycles", type=int, default=800)
+    run.add_argument("--tau-min", type=float, default=0.5)
+    run.add_argument("--tau-max", type=float, default=0.9)
+    run.add_argument("--c-min", type=float, default=200.0)
+    run.add_argument("--c-max", type=float, default=500.0)
+    run.add_argument("--show-wear", action="store_true",
+                     help="print the chip wear heatmap afterwards")
+    run.set_defaults(func=_cmd_run)
+
+    synth = sub.add_parser("synth", help="synthesize one routing job")
+    synth.add_argument("--start", type=int, nargs=2, default=(3, 3),
+                       metavar=("X", "Y"))
+    synth.add_argument("--goal", type=int, nargs=2, default=(24, 10),
+                       metavar=("X", "Y"))
+    synth.add_argument("--droplet", type=int, default=4,
+                       help="square droplet edge length")
+    synth.add_argument("--width", type=int, default=30)
+    synth.add_argument("--height", type=int, default=16)
+    synth.add_argument("--dead-fraction", type=float, default=0.0,
+                       help="fraction of microelectrodes to kill")
+    synth.add_argument("--full-chip", action="store_true",
+                       help="use the whole chip as hazard bounds")
+    synth.add_argument("--seed", type=int, default=0)
+    synth.set_defaults(func=_cmd_synth)
+
+    deg = sub.add_parser("degradation",
+                         help="print a degradation lifetime table")
+    deg.add_argument("--tau", type=float, default=0.556)
+    deg.add_argument("--c", type=float, default=822.7)
+    deg.add_argument("--bits", type=int, default=2)
+    deg.add_argument("--n-max", type=int, default=2000)
+    deg.set_defaults(func=_cmd_degradation)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

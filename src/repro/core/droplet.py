@@ -1,0 +1,87 @@
+"""Droplet model (Sec. V-A).
+
+A droplet is identified with its actuation pattern: a fully-filled rectangle
+``delta = (xa, ya, xb, yb)`` of actuated microelectrodes.  Restricting the
+state space to rectangular patterns is the paper's key scalability move —
+droplet size, shape and location are tightly coupled with the pattern, and
+free-roaming / under- / over-actuation are never useful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+#: The paper's off-chip sentinel for droplets that have not been dispensed
+#: yet (Algorithm 1 uses start location (0, 0, 0, 0) for dispensing MOs).
+#: On-chip coordinates are 1-based, so this rectangle never collides with a
+#: real droplet.
+OFF_CHIP = Rect(0, 0, 0, 0)
+
+
+def is_off_chip(delta: Rect) -> bool:
+    """Whether ``delta`` is the off-chip sentinel."""
+    return delta == OFF_CHIP
+
+
+def within_chip(delta: Rect, width: int, height: int) -> bool:
+    """Whether the droplet lies entirely on a ``width x height`` chip.
+
+    Chip cells are 1-based: ``1 <= x <= width``, ``1 <= y <= height``
+    (Table III/IV use ``loc in [1, W] x [1, H]``).
+    """
+    return 1 <= delta.xa and 1 <= delta.ya and delta.xb <= width and delta.yb <= height
+
+
+def actuation_matrix(
+    droplets: list[Rect], width: int, height: int
+) -> np.ndarray:
+    """The biochip actuation matrix ``U`` for a set of droplet patterns.
+
+    ``U[i-1, j-1] = 1`` exactly when some droplet covers cell ``(i, j)``
+    (Example 1).  Off-chip sentinels contribute nothing.
+    """
+    u = np.zeros((width, height), dtype=np.uint8)
+    for delta in droplets:
+        if is_off_chip(delta):
+            continue
+        if not within_chip(delta, width, height):
+            raise ValueError(f"droplet {delta} does not fit a {width}x{height} chip")
+        u[delta.xa - 1 : delta.xb, delta.ya - 1 : delta.yb] = 1
+    return u
+
+
+def fit_droplet_shape(area: float, max_side_difference: int = 1) -> tuple[int, int]:
+    """Pick the ``w x h`` rectangle best matching a target droplet area.
+
+    The RJ helper (Sec. VI-B) computes droplet sizes for derived droplets
+    (e.g. a mix output has the sum of its inputs' areas) by choosing the
+    width/height pair that minimizes the area error subject to
+    ``|w - h| <= 1``.  Ties prefer the wider shape, matching the paper's
+    Table IV example where area 32 becomes ``6 x 5``.
+    """
+    if area <= 0:
+        raise ValueError(f"droplet area must be positive, got {area}")
+    if max_side_difference < 0:
+        raise ValueError("side difference bound cannot be negative")
+    best_key: tuple[float, int, int] | None = None
+    best_shape: tuple[int, int] = (1, 1)
+    side = int(np.ceil(np.sqrt(area))) + max_side_difference + 1
+    for h in range(1, side + 1):
+        for w in range(h, min(h + max_side_difference, side) + 1):
+            err = abs(w * h - area)
+            # Prefer smaller error; among ties prefer the larger (wider)
+            # pattern so the droplet is never under-actuated.
+            key = (err, -(w * h), -w)
+            if best_key is None or key < best_key:
+                best_key, best_shape = key, (w, h)
+    return best_shape
+
+
+def size_error(shape: tuple[int, int], area: float) -> float:
+    """Relative area error of a fitted shape (the Table IV "Size Error")."""
+    w, h = shape
+    if area <= 0:
+        raise ValueError("area must be positive")
+    return abs(w * h - area) / area

@@ -1,0 +1,356 @@
+"""Array-first construction of the per-RJ routing MDP.
+
+Semantically identical to :func:`repro.core.mdp.build_routing_mdp` followed
+by :func:`repro.modelcheck.compiled.compile_mdp` — the unit tests check the
+two pipelines produce the same model statistics and the same synthesis
+values — but built for the synthesis hot loop:
+
+* droplet patterns are plain ``(xa, ya, xb, yb)`` int tuples (hashing them
+  is several times cheaper than dataclass instances);
+* per-(shape, action) metadata (guards, frontier rectangles, successor
+  patterns) is precomputed once as coordinate *offsets* and shifted per
+  state;
+* frontier means come from a 2-D prefix sum of the force matrix, so every
+  leg probability is O(1);
+* transitions are emitted straight into CSR arrays, skipping the explicit
+  model objects entirely.
+
+Only matrix-backed force fields are supported (the synthesizer's health
+estimates and the baseline's uniform field both are); exotic fields fall
+back to the explicit builder in :mod:`repro.core.synthesis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.actions import (
+    ALL_ACTIONS,
+    DEFAULT_MAX_ASPECT,
+    Action,
+    ActionClass,
+    apply_action,
+    frontier,
+    frontier_directions,
+    guard,
+)
+from repro.core.mdp import CYCLE_REWARD
+from repro.core.routing_job import RoutingJob
+from repro.geometry.rect import Rect
+from repro.modelcheck.compiled import CompiledMDP
+from repro.modelcheck.reachability import ValueResult
+from repro.modelcheck.strategy import MemorylessStrategy
+
+IntRect = tuple[int, int, int, int]
+
+#: Index of the absorbing hazard sink in every compiled routing model.
+HAZARD_INDEX = 0
+
+
+@dataclass(frozen=True)
+class _LegSpec:
+    """A frontier rectangle as offsets from the droplet's (xa, ya)."""
+
+    dxa: int
+    dya: int
+    dxb: int
+    dyb: int
+
+
+@dataclass(frozen=True)
+class _ActionSpec:
+    """Precompiled semantics of one action for one droplet shape.
+
+    ``legs`` holds the offset frontiers whose means are the leg success
+    probabilities; ``outcomes`` maps tuples of leg-success booleans to the
+    successor-pattern offsets ``(dxa, dya, w, h)`` (``None`` = stay put).
+    """
+
+    name: str
+    klass: ActionClass
+    legs: tuple[_LegSpec, ...]
+    outcomes: tuple[tuple[tuple[bool, ...], tuple[int, int, int, int] | None], ...]
+
+
+def _offset(base: Rect, rect: Rect) -> _LegSpec:
+    return _LegSpec(
+        rect.xa - base.xa, rect.ya - base.ya, rect.xb - base.xa, rect.yb - base.ya
+    )
+
+
+def _succ_offset(base: Rect, rect: Rect) -> tuple[int, int, int, int]:
+    return (rect.xa - base.xa, rect.ya - base.ya, rect.width, rect.height)
+
+
+def _compile_shape_actions(
+    w: int, h: int, max_aspect: float,
+    families: tuple[ActionClass, ...] | None = None,
+) -> list[_ActionSpec]:
+    """Per-shape action metadata, derived from the reference implementation."""
+    base = Rect(100, 100, 100 + w - 1, 100 + h - 1)
+    specs: list[_ActionSpec] = []
+    for action in ALL_ACTIONS:
+        if families is not None and action.klass not in families:
+            continue
+        if not guard(base, action, max_aspect=max_aspect):
+            continue
+        specs.append(_spec_for(base, action))
+    return specs
+
+
+def _spec_for(base: Rect, action: Action) -> _ActionSpec:
+    klass = action.klass
+    if klass is ActionClass.CARDINAL:
+        (direction,) = frontier_directions(action)
+        leg = _offset(base, frontier(base, action, direction))  # type: ignore[arg-type]
+        moved = _succ_offset(base, apply_action(base, action))
+        return _ActionSpec(
+            action.name, klass, (leg,),
+            (((True,), moved), ((False,), None)),
+        )
+    if klass is ActionClass.DOUBLE:
+        (direction,) = frontier_directions(action)
+        leg1 = _offset(base, frontier(base, action, direction))  # type: ignore[arg-type]
+        from repro.core.actions import ACTIONS
+
+        one = apply_action(base, ACTIONS[f"a_{direction}"])
+        leg2 = _offset(base, frontier(one, action, direction))  # type: ignore[arg-type]
+        return _ActionSpec(
+            action.name, klass, (leg1, leg2),
+            (
+                ((True, True), _succ_offset(base, apply_action(base, action))),
+                ((True, False), _succ_offset(base, one)),
+                ((False,), None),  # second leg never attempted
+            ),
+        )
+    if klass is ActionClass.ORDINAL:
+        dv, dh = action.vertical, action.horizontal
+        assert dv is not None and dh is not None
+        legv = _offset(base, frontier(base, action, dv))  # type: ignore[arg-type]
+        legh = _offset(base, frontier(base, action, dh))  # type: ignore[arg-type]
+        from repro.core.actions import ACTIONS
+
+        return _ActionSpec(
+            action.name, klass, (legv, legh),
+            (
+                ((True, True), _succ_offset(base, apply_action(base, action))),
+                ((True, False),
+                 _succ_offset(base, apply_action(base, ACTIONS[f"a_{dv}"]))),
+                ((False, True),
+                 _succ_offset(base, apply_action(base, ACTIONS[f"a_{dh}"]))),
+                ((False, False), None),
+            ),
+        )
+    # Morphs: one leg; success reshapes the droplet.
+    (direction,) = frontier_directions(action)
+    fr = frontier(base, action, direction)
+    if fr is None:  # degenerate single-row/-column morphs are unguarded only
+        raise AssertionError("guarded morph must have a frontier")
+    return _ActionSpec(
+        action.name, klass, (_offset(base, fr),),
+        (((True,), _succ_offset(base, apply_action(base, action))),
+         ((False,), None)),
+    )
+
+
+@dataclass(frozen=True)
+class CompiledRoutingModel:
+    """A routing MDP in compiled (array) form plus its state inventory."""
+
+    compiled: CompiledMDP
+    states: list[Rect | str]
+    choice_labels: list[str]
+    job: RoutingJob
+
+    @property
+    def num_states(self) -> int:
+        return self.compiled.num_states
+
+    @property
+    def num_choices(self) -> int:
+        return self.compiled.num_choices
+
+    @property
+    def num_transitions(self) -> int:
+        return int(self.compiled.transitions.nnz)
+
+
+def build_routing_model_fast(
+    job: RoutingJob,
+    forces: np.ndarray,
+    max_aspect: float = DEFAULT_MAX_ASPECT,
+    families: tuple[ActionClass, ...] | None = None,
+) -> CompiledRoutingModel:
+    """Build the per-RJ MDP directly in compiled form.
+
+    ``forces`` is the ``(W, H)`` per-MC relative-force matrix; cells outside
+    it exert zero force.  ``families`` optionally restricts the action set
+    to the given classes (``None`` = all five).
+    """
+    if job.is_dispense:
+        raise ValueError("dispense jobs are materialized, not routed")
+    width, height = forces.shape
+    prefix = np.zeros((width + 1, height + 1))
+    prefix[1:, 1:] = forces.cumsum(axis=0).cumsum(axis=1)
+
+    def rect_mean(xa: int, ya: int, xb: int, yb: int) -> float:
+        cxa, cya = max(xa, 1), max(ya, 1)
+        cxb, cyb = min(xb, width), min(yb, height)
+        if cxb < cxa or cyb < cya:
+            return 0.0
+        total = (
+            prefix[cxb, cyb]
+            - prefix[cxa - 1, cyb]
+            - prefix[cxb, cya - 1]
+            + prefix[cxa - 1, cya - 1]
+        )
+        return float(total) / ((xb - xa + 1) * (yb - ya + 1))
+
+    hz = job.hazard.as_tuple()
+    goal = job.goal.as_tuple()
+    obstacles = [o.as_tuple() for o in job.obstacles]
+    start = job.start.as_tuple()
+
+    def in_hazard(r: IntRect) -> bool:
+        return (
+            hz[0] <= r[0] and hz[1] <= r[1] and r[2] <= hz[2] and r[3] <= hz[3]
+        )
+
+    def in_goal(r: IntRect) -> bool:
+        return (
+            goal[0] <= r[0] and goal[1] <= r[1]
+            and r[2] <= goal[2] and r[3] <= goal[3]
+        )
+
+    def blocked(r: IntRect) -> bool:
+        for (oxa, oya, oxb, oyb) in obstacles:
+            if (
+                r[0] - 2 <= oxb and oxa - 2 <= r[2]
+                and r[1] - 2 <= oyb and oya - 2 <= r[3]
+            ):
+                return True
+        return False
+
+    shape_specs: dict[tuple[int, int], list[_ActionSpec]] = {}
+
+    # State 0 is the hazard sink; the start is state 1.
+    states: list[IntRect | None] = [None, start]
+    index: dict[IntRect, int] = {start: 1}
+    goal_indices: list[int] = []
+
+    choice_state: list[int] = []
+    choice_labels: list[str] = []
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+
+    def state_id(r: IntRect) -> int:
+        idx = index.get(r)
+        if idx is None:
+            idx = len(states)
+            states.append(r)
+            index[r] = idx
+            queue.append(r)
+        return idx
+
+    queue: list[IntRect] = [start]
+    head = 0
+    while head < len(queue):
+        r = queue[head]
+        head += 1
+        s_idx = index[r]
+        if in_goal(r):
+            goal_indices.append(s_idx)
+            continue
+        xa, ya = r[0], r[1]
+        shape = (r[2] - r[0] + 1, r[3] - r[1] + 1)
+        specs = shape_specs.get(shape)
+        if specs is None:
+            specs = _compile_shape_actions(
+                shape[0], shape[1], max_aspect, families=families
+            )
+            shape_specs[shape] = specs
+        for spec in specs:
+            probs = [
+                rect_mean(xa + leg.dxa, ya + leg.dya, xa + leg.dxb, ya + leg.dyb)
+                for leg in spec.legs
+            ]
+            c_idx = len(choice_state)
+            stay_prob = 0.0
+            emitted = False
+            for pattern, succ in spec.outcomes:
+                p = 1.0
+                for leg_i, success in enumerate(pattern):
+                    p *= probs[leg_i] if success else 1.0 - probs[leg_i]
+                if p <= 0.0:
+                    continue
+                if succ is None:
+                    stay_prob += p
+                    continue
+                dxa, dya, w2, h2 = succ
+                nxt = (xa + dxa, ya + dya, xa + dxa + w2 - 1, ya + dya + h2 - 1)
+                safe = in_hazard(nxt) and (nxt == start or not blocked(nxt))
+                target = state_id(nxt) if safe else HAZARD_INDEX
+                rows.append(c_idx)
+                cols.append(target)
+                vals.append(p)
+                emitted = True
+            if stay_prob > 0.0:
+                rows.append(c_idx)
+                cols.append(s_idx)
+                vals.append(stay_prob)
+                emitted = True
+            assert emitted, "every action has at least one outcome"
+            choice_state.append(s_idx)
+            choice_labels.append(spec.name)
+
+    n = len(states)
+    transitions = sparse.csr_matrix(
+        (vals, (rows, cols)), shape=(max(len(choice_state), 1), n)
+    )
+    goal_mask = np.zeros(n, dtype=bool)
+    goal_mask[goal_indices] = True
+    hazard_mask = np.zeros(n, dtype=bool)
+    hazard_mask[HAZARD_INDEX] = True
+    compiled = CompiledMDP(
+        num_states=n,
+        choice_state=np.asarray(choice_state, dtype=np.int64),
+        choice_reward=np.full(len(choice_state), CYCLE_REWARD),
+        transitions=transitions,
+        labels={"goal": goal_mask, "hazard": hazard_mask},
+        initial=1,
+    )
+    from repro.core.mdp import HAZARD_STATE
+
+    state_objects: list[Rect | str] = [HAZARD_STATE] + [
+        Rect(*r) for r in states[1:]  # type: ignore[misc]
+    ]
+    return CompiledRoutingModel(
+        compiled=compiled, states=state_objects, choice_labels=choice_labels,
+        job=job,
+    )
+
+
+def extract_fast_strategy(
+    model: CompiledRoutingModel, result: ValueResult
+) -> MemorylessStrategy:
+    """Memoryless strategy from a solved compiled routing model."""
+    cm = model.compiled
+    counts = np.bincount(cm.choice_state, minlength=cm.num_states)
+    first = np.zeros(cm.num_states, dtype=np.int64)
+    first[1:] = np.cumsum(counts)[:-1]
+    decisions: dict[object, str] = {}
+    values: dict[object, float] = {}
+    for idx, state in enumerate(model.states):
+        values[state] = float(result.values[idx])
+        local = int(result.choice[idx])
+        if local >= 0:
+            decisions[state] = model.choice_labels[first[idx] + local]
+    return MemorylessStrategy(
+        decisions=decisions,
+        values=values,
+        initial_value=float(result.values[cm.initial]),
+    )

@@ -1,0 +1,108 @@
+"""Per-routing-job MDP induction (Sec. VI-C, partial-order reduction).
+
+Within one routing job the health matrix barely changes, so the paper fixes
+``H`` at its current value, rendering the degradation player's move order
+irrelevant; the SMG collapses to an MDP over droplet patterns.  Two further
+reductions keep the model small:
+
+* the state space is restricted to patterns inside the hazard bounds
+  ``delta_h`` (droplet locations outside are all equivalently *lost*, so a
+  single absorbing ``HAZARD`` sentinel represents them);
+* states are enumerated by forward reachability from the start pattern.
+
+Goal states (patterns contained in ``delta_g``) are absorbing — the routing
+job is over.  Every enabled action carries reward 1 (the paper's cycle
+reward ``r_k``), so ``Rmin`` queries yield expected cycles-to-goal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.actions import ALL_ACTIONS, DEFAULT_MAX_ASPECT, ActionClass, guard
+from repro.core.routing_job import RoutingJob
+from repro.core.transitions import ForceField, outcome_distribution
+from repro.geometry.rect import Rect
+from repro.modelcheck.model import MDP
+
+#: The absorbing sentinel representing every pattern outside the hazard
+#: bounds.  Collapsing them keeps the state count at "positions + a few
+#: sinks", matching the Table V model sizes.
+HAZARD_STATE = "HAZARD"
+
+#: Reward assigned to every microfluidic action: one operational cycle.
+CYCLE_REWARD = 1.0
+
+
+@dataclass(frozen=True)
+class RoutingModel:
+    """The induced MDP plus the labels the queries use."""
+
+    mdp: MDP
+    job: RoutingJob
+
+    @property
+    def num_states(self) -> int:
+        return self.mdp.num_states
+
+    @property
+    def num_choices(self) -> int:
+        return self.mdp.num_choices
+
+    @property
+    def num_transitions(self) -> int:
+        return self.mdp.num_transitions
+
+
+def build_routing_mdp(
+    job: RoutingJob,
+    field: ForceField,
+    max_aspect: float = DEFAULT_MAX_ASPECT,
+    families: tuple[ActionClass, ...] | None = None,
+) -> RoutingModel:
+    """Induce the routing MDP ``G_RJ`` for a routing job under a force field.
+
+    ``field`` encodes the frozen health information: the synthesizer passes
+    the controller's force estimate derived from ``H``; validation passes
+    the true forces derived from ``D``.  ``families`` optionally restricts
+    the action set to the given classes (the action-set ablation bench);
+    ``None`` enables all five families.  Off-chip dispensing jobs are not
+    routable (Algorithm 1 handles them separately) and are rejected.
+    """
+    if job.is_dispense:
+        raise ValueError("dispense jobs are materialized, not routed")
+    mdp = MDP()
+    mdp.set_initial(job.start)
+    mdp.add_state(HAZARD_STATE)
+    mdp.add_label("hazard", HAZARD_STATE)
+
+    seen: set[Rect] = {job.start}
+    queue: deque[Rect] = deque([job.start])
+    while queue:
+        delta = queue.popleft()
+        if job.goal.contains(delta):
+            mdp.add_label("goal", delta)
+            continue  # goal states are absorbing
+        for action in ALL_ACTIONS:
+            if families is not None and action.klass not in families:
+                continue
+            if not guard(delta, action, max_aspect=max_aspect):
+                continue
+            outcomes = outcome_distribution(delta, action, field)
+            successors: list[tuple[object, float]] = []
+            for outcome in outcomes:
+                landing = outcome.delta
+                safe = job.hazard.contains(landing) and (
+                    landing == job.start or not job.blocked(landing)
+                )
+                if safe:
+                    successors.append((landing, outcome.probability))
+                    if landing not in seen:
+                        seen.add(landing)
+                        queue.append(landing)
+                else:
+                    successors.append((HAZARD_STATE, outcome.probability))
+            mdp.add_choice(delta, action.name, successors, reward=CYCLE_REWARD)
+
+    return RoutingModel(mdp=mdp, job=job)

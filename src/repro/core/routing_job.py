@@ -1,0 +1,314 @@
+"""Routing jobs and the MO-to-RJ helper (Sec. VI-B, Algorithm 1).
+
+A bioassay's microfluidic operations (MOs) are decomposed into single-droplet
+*routing jobs*.  An RJ is a tuple ``(delta_s, delta_g, delta_h)``: the start
+location, the goal location and the *hazard bounds* — the rectangle the
+droplet must never leave while routing.
+
+The hazard bounds are computed by the paper's ``ZONE`` function: the bounding
+box of start and goal grown by a 3-MC safety margin (to prevent accidental
+merging with concurrent droplets), clipped to the chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bioassay.ops import MO, MOType
+from repro.core.droplet import (
+    OFF_CHIP,
+    fit_droplet_shape,
+    is_off_chip,
+    size_error,
+)
+from repro.geometry.rect import Rect, rect_from_center
+
+#: The paper's safety margin around the start-goal bounding box.
+ZONE_MARGIN = 3
+
+
+@dataclass(frozen=True)
+class RoutingJob:
+    """A single-droplet routing problem ``RJ = (delta_s, delta_g, delta_h)``.
+
+    ``obstacles`` are keep-out rectangles for *other* droplets parked inside
+    the hazard zone: any pattern that comes within one MC of an obstacle
+    would merge with it, so such patterns are treated as hazard states by
+    the induced MDP.  (The paper's ZONE margin fences concurrently *moving*
+    droplets; obstacles handle stationary ones sharing the zone.)
+    """
+
+    start: Rect
+    goal: Rect
+    hazard: Rect
+    obstacles: tuple[Rect, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.hazard.contains(self.goal):
+            raise ValueError(
+                f"goal {self.goal} not inside hazard bounds {self.hazard}"
+            )
+        if not is_off_chip(self.start) and not self.hazard.contains(self.start):
+            raise ValueError(
+                f"start {self.start} not inside hazard bounds {self.hazard}"
+            )
+
+    @property
+    def is_dispense(self) -> bool:
+        """Whether the droplet enters from off-chip (Algorithm 1, dis case)."""
+        return is_off_chip(self.start)
+
+    def blocked(self, delta: Rect) -> bool:
+        """Whether ``delta`` would touch (and merge with) an obstacle."""
+        return any(delta.adjacent_or_overlapping(o) for o in self.obstacles)
+
+    def with_obstacles(self, obstacles: tuple[Rect, ...]) -> "RoutingJob":
+        """This job with a (possibly different) obstacle set."""
+        return RoutingJob(self.start, self.goal, self.hazard, obstacles)
+
+    def key(self) -> tuple[int, ...]:
+        """A hashable identity used by the offline strategy library."""
+        flat = self.start.as_tuple() + self.goal.as_tuple() + self.hazard.as_tuple()
+        for obstacle in sorted(self.obstacles):
+            flat += obstacle.as_tuple()
+        return flat
+
+
+def zone(start: Rect, goal: Rect, width: int, height: int,
+         margin: int = ZONE_MARGIN) -> Rect:
+    """The paper's ``ZONE`` hazard bounds, clipped to a ``W x H`` chip.
+
+    The bounding box of ``start`` and ``goal`` (goal alone for off-chip
+    starts) is grown by ``margin`` MCs on each side and clamped to the chip
+    rectangle ``[1, W] x [1, H]`` — reproducing the Table IV values.
+    """
+    if is_off_chip(start):
+        bbox = goal
+    else:
+        bbox = start.union_bbox(goal)
+    grown = bbox.expanded(margin)
+    return Rect(
+        max(grown.xa, 1),
+        max(grown.ya, 1),
+        min(grown.xb, width),
+        min(grown.yb, height),
+    )
+
+
+@dataclass(frozen=True)
+class DecomposedMO:
+    """The RJs of one MO plus bookkeeping for the scheduler.
+
+    ``output_patterns`` are the droplet rectangles the MO leaves behind when
+    it completes (used as the start locations of successor MOs and reported
+    in Table IV's "Size" column).  For mix/dilute MOs, ``merged_pattern`` is
+    the normalized pattern the two input droplets form once they coalesce
+    (the mix product, or the dilute intermediate before splitting).
+    """
+
+    mo: MO
+    jobs: tuple[RoutingJob, ...]
+    output_patterns: tuple[Rect, ...]
+    size_errors: tuple[float, ...]
+    merged_pattern: Rect | None = None
+
+
+class RJHelper:
+    """The MO-to-RJ helper of Algorithm 1.
+
+    Stateful across an MO list: it tracks each MO's output droplet patterns
+    so successor MOs can use them as start locations (the algorithm's
+    ``delta_g_pre[i]`` references).
+    """
+
+    def __init__(self, width: int, height: int, margin: int = ZONE_MARGIN) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("chip dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.margin = margin
+        self._outputs: dict[str, tuple[Rect, ...]] = {}
+
+    def _zone(self, start: Rect, goal: Rect) -> Rect:
+        return zone(start, goal, self.width, self.height, margin=self.margin)
+
+    def _placed(self, loc: tuple[float, float], shape: tuple[int, int]) -> Rect:
+        """Place a ``w x h`` pattern centered at ``loc``, nudged onto the chip."""
+        w, h = shape
+        if w > self.width or h > self.height:
+            raise ValueError(f"droplet {shape} does not fit a "
+                             f"{self.width}x{self.height} chip")
+        rect = rect_from_center(loc[0], loc[1], w, h)
+        dx = max(0, 1 - rect.xa) - max(0, rect.xb - self.width)
+        dy = max(0, 1 - rect.ya) - max(0, rect.yb - self.height)
+        return rect.translated(dx, dy)
+
+    def output_of(self, mo_name: str, index: int = 0) -> Rect:
+        """The ``index``-th output droplet pattern of a completed MO."""
+        return self._outputs[mo_name][index]
+
+    def decompose(self, mo: MO) -> DecomposedMO:
+        """Convert one MO into routing jobs (Algorithm 1's switch)."""
+        handler = {
+            MOType.DIS: self._decompose_dispense,
+            MOType.OUT: self._decompose_exit,
+            MOType.DSC: self._decompose_exit,
+            MOType.MAG: self._decompose_mag,
+            MOType.MIX: self._decompose_mix,
+            MOType.SPT: self._decompose_split,
+            MOType.DLT: self._decompose_dilute,
+        }[mo.type]
+        decomposed = handler(mo)
+        self._outputs[mo.name] = decomposed.output_patterns
+        return decomposed
+
+    def decompose_all(self, mos: list[MO]) -> list[DecomposedMO]:
+        """Decompose a dependency-ordered MO list."""
+        return [self.decompose(mo) for mo in mos]
+
+    # -- per-type cases ------------------------------------------------------
+
+    def _decompose_dispense(self, mo: MO) -> DecomposedMO:
+        if mo.size is None:
+            raise ValueError(f"dispense MO {mo.name} needs a droplet size")
+        goal = self._placed(mo.locs[0], mo.size)
+        rj = RoutingJob(OFF_CHIP, goal, self._zone(OFF_CHIP, goal))
+        return DecomposedMO(mo, (rj,), (goal,), (0.0,))
+
+    def _pred_pattern(self, mo: MO, index: int) -> Rect:
+        pred_name = mo.pre[index]
+        outputs = self._outputs.get(pred_name)
+        if outputs is None:
+            raise ValueError(
+                f"MO {mo.name} depends on {pred_name}, which was not decomposed"
+            )
+        slot = mo.pre_output[index] if mo.pre_output else 0
+        return outputs[slot]
+
+    def _decompose_exit(self, mo: MO) -> DecomposedMO:
+        start = self._pred_pattern(mo, 0)
+        goal = self._placed(mo.locs[0], (start.width, start.height))
+        rj = RoutingJob(start, goal, self._zone(start, goal))
+        return DecomposedMO(mo, (rj,), (), (0.0,))
+
+    def _decompose_mag(self, mo: MO) -> DecomposedMO:
+        start = self._pred_pattern(mo, 0)
+        area = start.area
+        shape = fit_droplet_shape(area)
+        goal = self._placed(mo.locs[0], shape)
+        rj = RoutingJob(start, goal, self._zone(start, goal))
+        return DecomposedMO(mo, (rj,), (goal,), (size_error(shape, area),))
+
+    def _decompose_mix(self, mo: MO) -> DecomposedMO:
+        start0 = self._pred_pattern(mo, 0)
+        start1 = self._pred_pattern(mo, 1)
+        goal0 = self._placed(mo.locs[0], (start0.width, start0.height))
+        goal1 = self._placed(mo.locs[0], (start1.width, start1.height))
+        jobs = (
+            RoutingJob(start0, goal0, self._zone(start0, goal0)),
+            RoutingJob(start1, goal1, self._zone(start1, goal1)),
+        )
+        merged_area = start0.area + start1.area
+        merged_shape = fit_droplet_shape(merged_area)
+        merged = self._placed(mo.locs[0], merged_shape)
+        return DecomposedMO(
+            mo,
+            jobs,
+            (merged,),
+            (size_error(merged_shape, merged_area),) * 2,
+            merged_pattern=merged,
+        )
+
+    def _split_halves(
+        self,
+        around: Rect,
+        shape: tuple[int, int],
+        toward: tuple[float, float],
+    ) -> tuple[Rect, Rect]:
+        """Initial placements of the two halves of a split droplet.
+
+        The halves sit side by side with a 2-MC gap, centered where the
+        parent droplet was, aligned with the dominant axis toward ``toward``
+        (the second output's destination) so the departing half starts on
+        its way.  Both placements are nudged onto the chip.
+        """
+        cx, cy = around.center
+        w, h = shape
+        dx, dy = toward[0] - cx, toward[1] - cy
+        horizontal = abs(dx) >= abs(dy)
+        if horizontal:
+            offset = (w + 2) / 2 + 0.5
+            sign = 1.0 if dx >= 0 else -1.0
+            c0 = (cx - sign * offset, cy)
+            c1 = (cx + sign * offset, cy)
+        else:
+            offset = (h + 2) / 2 + 0.5
+            sign = 1.0 if dy >= 0 else -1.0
+            c0 = (cx, cy - sign * offset)
+            c1 = (cx, cy + sign * offset)
+        half0 = self._placed(c0, shape)
+        half1 = self._placed(c1, shape)
+        if half0.adjacent_or_overlapping(half1):
+            # Edge nudging squeezed the halves together; re-place the second
+            # half beyond the first with an explicit 2-MC gap.
+            if horizontal:
+                c1 = (half0.center[0] + w + 2, half0.center[1])
+            else:
+                c1 = (half0.center[0], half0.center[1] + h + 2)
+            half1 = self._placed(c1, shape)
+        if half0.adjacent_or_overlapping(half1):
+            # Still colliding: try separating along the other axis.
+            if horizontal:
+                c1 = (half0.center[0], half0.center[1] + h + 2)
+            else:
+                c1 = (half0.center[0] + w + 2, half0.center[1])
+            half1 = self._placed(c1, shape)
+        if half0.adjacent_or_overlapping(half1):
+            raise ValueError(
+                f"split halves {half0} / {half1} collide; chip too small "
+                f"around {around}"
+            )
+        return half0, half1
+
+    def _decompose_split(self, mo: MO) -> DecomposedMO:
+        start = self._pred_pattern(mo, 0)
+        half_area = start.area / 2
+        shape = fit_droplet_shape(half_area)
+        goal0 = self._placed(mo.locs[0], shape)
+        goal1 = self._placed(mo.locs[1], shape)
+        half0, half1 = self._split_halves(start, shape, mo.locs[1])
+        jobs = (
+            RoutingJob(half0, goal0, self._zone(half0, goal0)),
+            RoutingJob(half1, goal1, self._zone(half1, goal1)),
+        )
+        err = size_error(shape, half_area)
+        return DecomposedMO(mo, jobs, (goal0, goal1), (err, err))
+
+    def _decompose_dilute(self, mo: MO) -> DecomposedMO:
+        """Dilution = mix at loc[0], then split to loc[0] and loc[1].
+
+        Algorithm 1 emits four RJs: the two inputs route to the mix point
+        (jobs 0-1), then the two split halves route to the output locations
+        (jobs 2-3; job 2 is usually a near-identity move since the first
+        product stays at the dilution site).
+        """
+        start0 = self._pred_pattern(mo, 0)
+        start1 = self._pred_pattern(mo, 1)
+        goal_in0 = self._placed(mo.locs[0], (start0.width, start0.height))
+        goal_in1 = self._placed(mo.locs[0], (start1.width, start1.height))
+        merged_area = start0.area + start1.area
+        half_shape = fit_droplet_shape(merged_area / 2)
+        merged = self._placed(mo.locs[0], fit_droplet_shape(merged_area))
+        out0 = self._placed(mo.locs[0], half_shape)
+        out1 = self._placed(mo.locs[1], half_shape)
+        half0, half1 = self._split_halves(merged, half_shape, mo.locs[1])
+        jobs = (
+            RoutingJob(start0, goal_in0, self._zone(start0, goal_in0)),
+            RoutingJob(start1, goal_in1, self._zone(start1, goal_in1)),
+            RoutingJob(half0, out0, self._zone(half0, out0)),
+            RoutingJob(half1, out1, self._zone(half1, out1)),
+        )
+        err = size_error(half_shape, merged_area / 2)
+        return DecomposedMO(
+            mo, jobs, (out0, out1), (err, err, err, err), merged_pattern=merged
+        )

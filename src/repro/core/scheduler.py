@@ -1,0 +1,784 @@
+"""The hybrid scheduler (Sec. VI-D, Algorithm 3).
+
+Drives a placed bioassay through its microfluidic operations:
+
+* MOs whose predecessors are done are *activated* (subject to a spatial
+  fencing check so concurrent MOs cannot collide);
+* active MOs route their droplets using strategies obtained from the
+  router — consulting the strategy library first, resynthesizing when the
+  sensed health inside a job's hazard zone changes (the hybrid scheme);
+* operate phases (mixing time, split actuation, magnetic holds, dispensing
+  latency) hold droplets in place, wearing the MCs beneath them;
+* mix/dilute input droplets coalesce when their patterns touch; splits
+  replace a droplet with two offset halves.
+
+The scheduler is deliberately ignorant of the *true* degradation state: it
+sees only the health matrix ``H`` each cycle and reports, per droplet, the
+intended actuation pattern.  The simulator owns the dice
+(:mod:`repro.biochip.simulator`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.bioassay.ops import MOType
+from repro.bioassay.seqgraph import SequencingGraph
+from repro.core.actions import ACTIONS, apply_action
+from repro.core.baseline import Router
+from repro.core.droplet import fit_droplet_shape
+from repro.core.routing_job import DecomposedMO, RJHelper, RoutingJob, zone
+from repro.core.strategy import RoutingStrategy, health_fingerprint
+from repro.geometry.rect import Rect, rect_from_center
+
+
+class MOPhase(Enum):
+    """Algorithm 3's per-MO state (init / active / done), with the active
+    state split into routing and operating sub-phases."""
+
+    INIT = "init"
+    ROUTING = "routing"
+    OPERATING = "operating"
+    DONE = "done"
+
+
+@dataclass
+class RoutingTask:
+    """One droplet being routed for an MO.
+
+    ``stalled_until`` implements a retry backoff when the job is temporarily
+    unroutable because parked droplets block every path: the droplet holds
+    in place and synthesis is retried a few cycles later.
+    """
+
+    droplet_id: int
+    job: RoutingJob
+    strategy: RoutingStrategy | None = None
+    fingerprint: bytes | None = None
+    arrived: bool = False
+    stalled_until: int = 0
+    replan_at: int | None = None
+    last_rect: Rect | None = None
+    stagnant: int = 0
+
+
+@dataclass(frozen=True)
+class MOEvent:
+    """A scheduler lifecycle event (for traces and debugging)."""
+
+    cycle: int
+    mo: str
+    kind: str  # "activated" | "done" | "merged" | "split" | "stalled"
+
+
+@dataclass(frozen=True)
+class CyclePlan:
+    """The scheduler's output for one operational cycle.
+
+    ``targets`` maps droplet ids to the actuation pattern asserted for them
+    this cycle (the moving droplets' intended next pattern, everyone else's
+    current pattern — Algorithm 3's ``U(a(delta)) <- 1``).  ``moves`` maps
+    the moving droplets to the chosen action name so the simulator can
+    sample the probabilistic outcome.
+    """
+
+    targets: dict[int, Rect]
+    moves: dict[int, str]
+    failure: str | None = None
+    complete: bool = False
+
+
+@dataclass
+class _MOState:
+    decomposed: DecomposedMO
+    phase: MOPhase = MOPhase.INIT
+    stage: str = ""
+    tasks: list[RoutingTask] = field(default_factory=list)
+    hold_remaining: int = 0
+    dispense_remaining: int = 0
+    activated_cycle: int = -1
+    done_cycle: int = -1
+
+
+class HybridScheduler:
+    """Algorithm 3 over a placed sequencing graph.
+
+    ``router`` supplies strategies (adaptive synthesis or the baseline);
+    the scheduler owns droplet lifecycles and MO phase transitions.
+    """
+
+    def __init__(
+        self,
+        graph: SequencingGraph,
+        router: Router,
+        width: int,
+        height: int,
+        resynthesis_latency: int = 4,
+        activation_order: str = "program",
+        stall_recovery_threshold: int = 12,
+    ) -> None:
+        """``resynthesis_latency`` models the hybrid scheme's *asynchronous*
+        resynthesis (Sec. VI-D): when zone health changes, the old strategy
+        keeps driving the droplet while the new one is computed, and further
+        health changes within the window fold into the same resynthesis.
+
+        ``activation_order`` explores the paper's stated future work (a
+        scheduler that optimizes the runtime order of MOs).  Among the MOs
+        that are dependency-ready in a cycle:
+
+        * ``"program"`` — list order (the paper's Algorithm 3);
+        * ``"healthiest-first"`` — prefer MOs whose routing zones currently
+          have the highest mean sensed health (route through good regions
+          while they last);
+        * ``"shortest-first"`` — prefer MOs with the smallest zone area
+          (a shortest-job-first heuristic that frees fenced zones sooner).
+
+        ``stall_recovery_threshold``: when the router exposes a ``recover``
+        method (reactive error recovery, Sec. II-C) and a droplet makes no
+        progress for this many planning cycles, the scheduler invokes it —
+        a reroute-style retrial corrective action.
+        """
+        if not graph.is_placed():
+            raise ValueError("scheduler needs a placed sequencing graph")
+        if resynthesis_latency < 0:
+            raise ValueError("resynthesis latency cannot be negative")
+        if activation_order not in ("program", "healthiest-first",
+                                    "shortest-first"):
+            raise ValueError(f"unknown activation order {activation_order!r}")
+        self.graph = graph
+        self.router = router
+        self.width = width
+        self.height = height
+        self.resynthesis_latency = resynthesis_latency
+        helper = RJHelper(width, height)
+        self._order = [mo.name for mo in graph.topological()]
+        self._states: dict[str, _MOState] = {}
+        for mo in graph.topological():
+            self._states[mo.name] = _MOState(decomposed=helper.decompose(mo))
+        self.droplets: dict[int, Rect] = {}
+        self._owner: dict[int, str] = {}
+        self._parked: dict[tuple[str, int], int] = {}
+        self._next_droplet = 0
+        self.activation_order = activation_order
+        self.stall_recovery_threshold = stall_recovery_threshold
+        self.failure: str | None = None
+        self.cycle = 0
+        self.resyntheses = 0
+        self.recoveries = 0
+        self.events: list[MOEvent] = []
+        #: droplet id -> (volume in MC-units, analyte concentration)
+        self._chemistry: dict[int, tuple[float, float]] = {}
+        #: (mo name, volume, concentration) of every droplet that exited
+        #: through an out/dsc operation, in exit order
+        self.collected: list[tuple[str, float, float]] = []
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        return all(s.phase is MOPhase.DONE for s in self._states.values())
+
+    def plan_cycle(self, health: np.ndarray) -> CyclePlan:
+        """Plan one operational cycle against the sensed health matrix."""
+        self.cycle += 1
+        if self.failure or self.complete:
+            return CyclePlan({}, {}, failure=self.failure, complete=self.complete)
+        self._activate_ready(health)
+        targets: dict[int, Rect] = {}
+        moves: dict[int, str] = {}
+        for name in self._order:
+            if self.failure:
+                break
+            state = self._states[name]
+            if state.phase is MOPhase.ROUTING:
+                self._plan_routing(name, state, health, targets, moves)
+            elif state.phase is MOPhase.OPERATING:
+                self._plan_operating(name, state, targets)
+        # Parked droplets (outputs awaiting their consumer) are held in place.
+        for did in self._parked.values():
+            if did in self.droplets and did not in targets:
+                targets[did] = self.droplets[did]
+        return CyclePlan(
+            targets=targets,
+            moves=moves,
+            failure=self.failure,
+            complete=self.complete,
+        )
+
+    def sensing_mask(self) -> np.ndarray:
+        """The MCs a *selective* scan must cover this cycle.
+
+        Selective sensing (the paper's ref. [32]) scans only where the
+        controller needs information: the hazard zones of active routing
+        tasks (health adaptation + droplet tracking) and the cells around
+        every droplet (position verification).  Everything else is skipped,
+        sparing those MCs the per-cycle sensing stress.
+        """
+        mask = np.zeros((self.width, self.height), dtype=bool)
+        for state in self._states.values():
+            if state.phase in (MOPhase.ROUTING, MOPhase.OPERATING):
+                for task in state.tasks:
+                    hz = task.job.hazard
+                    mask[hz.xa - 1 : hz.xb, hz.ya - 1 : hz.yb] = True
+        for rect in self.droplets.values():
+            xa, ya = max(rect.xa - 1, 1), max(rect.ya - 1, 1)
+            xb = min(rect.xb + 1, self.width)
+            yb = min(rect.yb + 1, self.height)
+            mask[xa - 1 : xb, ya - 1 : yb] = True
+        return mask
+
+    def apply_outcomes(self, moved: dict[int, Rect]) -> None:
+        """Commit the sampled droplet movements and resolve merges."""
+        for did, rect in moved.items():
+            if did not in self.droplets:
+                raise KeyError(f"unknown droplet {did}")
+            self.droplets[did] = rect
+        self._resolve_intended_merges()
+        self._check_unintended_merges()
+
+    # -- droplet bookkeeping ---------------------------------------------------
+
+    def _new_droplet(
+        self,
+        rect: Rect,
+        owner: str,
+        volume: float | None = None,
+        concentration: float = 0.0,
+    ) -> int:
+        did = self._next_droplet
+        self._next_droplet += 1
+        self.droplets[did] = rect
+        self._owner[did] = owner
+        self._chemistry[did] = (
+            float(rect.area) if volume is None else volume,
+            concentration,
+        )
+        return did
+
+    def droplet_chemistry(self, did: int) -> tuple[float, float]:
+        """The (volume, analyte concentration) of a live droplet."""
+        return self._chemistry[did]
+
+    def _remove_droplet(self, did: int) -> None:
+        self.droplets.pop(did, None)
+        self._owner.pop(did, None)
+        self._chemistry.pop(did, None)
+
+    def _park(self, name: str, slot: int, did: int) -> None:
+        self._parked[(name, slot)] = did
+
+    def _consume(self, name: str, mo_name: str, index: int) -> int:
+        """Claim input ``index`` of MO ``mo_name`` from its producer."""
+        mo = self.graph.mo(mo_name)
+        pred = mo.pre[index]
+        slot = mo.pre_output[index] if mo.pre_output else 0
+        did = self._parked.pop((pred, slot), None)
+        if did is None:
+            raise RuntimeError(
+                f"MO {mo_name} activated but input {index} (output {slot} of "
+                f"{pred}) is not parked"
+            )
+        self._owner[did] = name
+        return did
+
+    # -- activation --------------------------------------------------------------
+
+    def _preds_done(self, name: str) -> bool:
+        return all(
+            self._states[p.name].phase is MOPhase.DONE
+            for p in self.graph.predecessors(name)
+        )
+
+    def _active_zones(self) -> list[Rect]:
+        zones: list[Rect] = []
+        for state in self._states.values():
+            if state.phase in (MOPhase.ROUTING, MOPhase.OPERATING):
+                zones.extend(t.job.hazard for t in state.tasks)
+                if not state.tasks:
+                    # Operating without routing tasks (e.g. dispensing):
+                    # fence the decomposed jobs' zones.
+                    zones.extend(j.hazard for j in state.decomposed.jobs)
+        return zones
+
+    def _conflicts(self, name: str) -> bool:
+        """Whether activating ``name`` would violate spatial safety.
+
+        Two rules:
+
+        * concurrently *active* MOs must keep a gap of at least 2 MCs
+          between their hazard zones so droplets confined to their own
+          zones can never touch;
+        * the MO's goal sites must not be occupied by foreign *parked*
+          droplets — activating anyway would stall the MO until the
+          blocker's consumer runs, which rule one may forbid (a scheduling
+          deadlock).  Parked droplets merely *near* the zone are fine; they
+          become routing obstacles.
+        """
+        state = self._states[name]
+        zones = [j.hazard for j in state.decomposed.jobs]
+        for az in self._active_zones():
+            if any(z.expanded(1).overlaps(az) for z in zones):
+                return True
+        own_inputs = self._input_droplets(name)
+        targets = [j.goal for j in state.decomposed.jobs]
+        if state.decomposed.merged_pattern is not None:
+            targets.append(state.decomposed.merged_pattern)
+        for did in self._parked.values():
+            if did in own_inputs or did not in self.droplets:
+                continue
+            rect = self.droplets[did]
+            if any(rect.adjacent_or_overlapping(goal) for goal in targets):
+                return True
+        return False
+
+    def _input_droplets(self, name: str) -> set[int]:
+        """Parked droplet ids this MO will consume when it activates."""
+        mo = self.graph.mo(name)
+        inputs = set()
+        for idx, pred in enumerate(mo.pre):
+            slot = mo.pre_output[idx] if mo.pre_output else 0
+            did = self._parked.get((pred, slot))
+            if did is not None:
+                inputs.add(did)
+        return inputs
+
+    def _dispense_ready(self, name: str) -> bool:
+        """Just-in-time dispensing: hold a reagent in its reservoir until its
+        consumer's non-dispense inputs are done.
+
+        Dispensing reagents eagerly parks droplets on the array for long
+        stretches — wearing the MCs beneath them and, worse, blocking other
+        MOs' goal regions (a parked droplet adjacent to a goal makes the
+        goal unreachable, deadlocking the bioassay).  A dispense therefore
+        waits until every other, non-dispense predecessor of its consumer is
+        complete.
+        """
+        consumers = self.graph.successors(name)
+        for consumer in consumers:
+            for pred_name in consumer.pre:
+                if pred_name == name:
+                    continue
+                pred = self.graph.mo(pred_name)
+                if pred.type is MOType.DIS:
+                    continue
+                if self._states[pred_name].phase is not MOPhase.DONE:
+                    return False
+        return True
+
+    def _ready_mos(self) -> list[str]:
+        ready = []
+        for name in self._order:
+            state = self._states[name]
+            if state.phase is not MOPhase.INIT or not self._preds_done(name):
+                continue
+            mo = self.graph.mo(name)
+            if mo.type is MOType.DIS and not self._dispense_ready(name):
+                continue
+            ready.append(name)
+        return ready
+
+    def _activation_key(self, name: str, health: np.ndarray):
+        zones = [j.hazard for j in self._states[name].decomposed.jobs]
+        if self.activation_order == "shortest-first":
+            return min(z.area for z in zones)
+        # healthiest-first: negate so higher mean health sorts first
+        means = []
+        for z in zones:
+            sub = health[z.xa - 1 : z.xb, z.ya - 1 : z.yb]
+            means.append(float(sub.mean()))
+        return -min(means)
+
+    def _activate_ready(self, health: np.ndarray) -> None:
+        ready = self._ready_mos()
+        if self.activation_order != "program":
+            ready.sort(key=lambda name: self._activation_key(name, health))
+        for name in ready:
+            if self._conflicts(name):
+                continue
+            self._activate(name, self._states[name], health)
+            if self.failure:
+                return
+
+    def _activate(self, name: str, state: _MOState, health: np.ndarray) -> None:
+        mo = self.graph.mo(name)
+        state.activated_cycle = self.cycle
+        self.events.append(MOEvent(self.cycle, name, "activated"))
+        dec = state.decomposed
+        if mo.type is MOType.DIS:
+            state.phase = MOPhase.OPERATING
+            state.stage = "dispensing"
+            state.dispense_remaining = self._dispense_latency(dec.jobs[0].goal)
+            return
+        if mo.type in (MOType.OUT, MOType.DSC, MOType.MAG):
+            did = self._consume(name, name, 0)
+            job = self._with_obstacles(
+                self._fit_job(dec.jobs[0], self.droplets[did]), name
+            )
+            state.tasks = [RoutingTask(did, job)]
+            state.stage = "route_in"
+            state.phase = MOPhase.ROUTING
+            return
+        if mo.type in (MOType.MIX, MOType.DLT):
+            did0 = self._consume(name, name, 0)
+            did1 = self._consume(name, name, 1)
+            state.tasks = [
+                RoutingTask(did0, self._with_obstacles(
+                    self._fit_job(dec.jobs[0], self.droplets[did0]), name)),
+                RoutingTask(did1, self._with_obstacles(
+                    self._fit_job(dec.jobs[1], self.droplets[did1]), name)),
+            ]
+            state.stage = "route_in"
+            state.phase = MOPhase.ROUTING
+            return
+        if mo.type is MOType.SPT:
+            did = self._consume(name, name, 0)
+            state.tasks = [RoutingTask(did, self._hold_job(self.droplets[did]))]
+            state.tasks[0].arrived = True
+            state.stage = "splitting"
+            state.phase = MOPhase.OPERATING
+            state.hold_remaining = max(mo.hold_cycles, 1)
+            return
+        raise AssertionError(f"unhandled MO type {mo.type}")
+
+    def _dispense_latency(self, goal: Rect) -> int:
+        """Cycles for a dispensed droplet to travel in from the nearest edge."""
+        edge_distance = min(
+            goal.xa - 1, goal.ya - 1, self.width - goal.xb, self.height - goal.yb
+        )
+        return max(2, edge_distance + 2)
+
+    def _fit_job(self, job: RoutingJob, rect: Rect) -> RoutingJob:
+        """Rebase a decomposed job onto the droplet's actual pattern."""
+        if job.start == rect:
+            return job
+        if job.hazard.contains(rect):
+            return RoutingJob(rect, job.goal, job.hazard, job.obstacles)
+        return RoutingJob(
+            rect, job.goal, zone(rect, job.goal, self.width, self.height),
+            job.obstacles,
+        )
+
+    def _with_obstacles(self, job: RoutingJob, owner: str) -> RoutingJob:
+        """Attach the keep-out set: foreign droplets near the hazard zone."""
+        obstacles = tuple(
+            sorted(
+                rect
+                for did, rect in self.droplets.items()
+                if self._owner.get(did) != owner
+                and rect.expanded(2).overlaps(job.hazard)
+            )
+        )
+        return job.with_obstacles(obstacles)
+
+    def _hold_job(self, rect: Rect) -> RoutingJob:
+        """A degenerate stay-where-you-are job (used for operate phases)."""
+        hz = zone(rect, rect, self.width, self.height)
+        return RoutingJob(rect, rect, hz)
+
+    # -- routing phase -------------------------------------------------------------
+
+    #: Cycles to wait before retrying synthesis for an obstacle-stalled task.
+    STALL_RETRY_CYCLES = 8
+
+    def _plan_task(
+        self, task: RoutingTask, health: np.ndarray, rect: Rect
+    ) -> bool:
+        """Plan or replan a task's strategy; returns False when stalled.
+
+        A job that is unroutable only because of its obstacles (every path
+        is blocked by a parked droplet) stalls with a retry backoff rather
+        than failing; a job unroutable even without obstacles means the
+        chip has degraded past use — the paper's ``(pi, k) = (0, inf)``
+        outcome — and aborts the bioassay.
+        """
+        strategy = self.router.plan(task.job, health)
+        if strategy is not None and strategy.action(rect) is None and not task.job.goal.contains(rect):
+            # The cached/synthesized strategy does not cover the droplet's
+            # current pattern (it drifted off the modelled region): replan
+            # from here.
+            retargeted = self._fit_job(task.job, rect)
+            strategy = self.router.plan(retargeted, health)
+            if strategy is not None:
+                task.job = retargeted
+        if strategy is None:
+            if task.job.obstacles:
+                unblocked = self._fit_job(
+                    task.job.with_obstacles(()), rect
+                )
+                if self.router.plan(unblocked, health) is not None:
+                    task.strategy = None
+                    task.stalled_until = self.cycle + self.STALL_RETRY_CYCLES
+                    return False
+            self.failure = "no-route"
+            return False
+        task.strategy = strategy
+        task.fingerprint = health_fingerprint(health, task.job.hazard)
+        return True
+
+    def _plan_routing(
+        self,
+        name: str,
+        state: _MOState,
+        health: np.ndarray,
+        targets: dict[int, Rect],
+        moves: dict[int, str],
+    ) -> None:
+        for task in state.tasks:
+            if task.droplet_id not in self.droplets:
+                continue
+            rect = self.droplets[task.droplet_id]
+            if task.arrived or task.job.goal.contains(rect):
+                task.arrived = True
+                targets[task.droplet_id] = rect
+                continue
+            if task.strategy is None and self.cycle < task.stalled_until:
+                targets[task.droplet_id] = rect  # hold; retry later
+                continue
+            if rect == task.last_rect:
+                task.stagnant += 1
+            else:
+                task.last_rect = rect
+                task.stagnant = 0
+            recover = getattr(self.router, "recover", None)
+            if (
+                recover is not None
+                and task.stagnant >= self.stall_recovery_threshold
+            ):
+                task.stagnant = 0
+                retargeted = self._with_obstacles(
+                    self._fit_job(task.job, rect), name
+                )
+                recovered = recover(retargeted, health)
+                if recovered is not None and recovered.action(rect) is not None:
+                    task.job = recovered.job  # the recovery may widen the zone
+                    task.strategy = recovered
+                    task.fingerprint = health_fingerprint(
+                        health, retargeted.hazard
+                    )
+                    self.recoveries += 1
+                    self.events.append(MOEvent(self.cycle, name, "recovered"))
+            if self.router.adaptive and task.strategy is not None:
+                fp = health_fingerprint(health, task.job.hazard)
+                if fp != task.fingerprint and task.replan_at is None:
+                    task.replan_at = self.cycle + self.resynthesis_latency
+                if task.replan_at is not None and self.cycle >= task.replan_at:
+                    task.replan_at = None
+                    self.resyntheses += 1
+                    if not self._plan_task(task, health, rect):
+                        targets[task.droplet_id] = rect
+                        if self.failure:
+                            return
+                        continue
+            if task.strategy is None:
+                if not self._plan_task(task, health, rect):
+                    targets[task.droplet_id] = rect
+                    if self.failure:
+                        return
+                    continue
+            assert task.strategy is not None
+            action_name = task.strategy.action(rect)
+            if action_name is None:
+                if not self._plan_task(task, health, rect):
+                    targets[task.droplet_id] = rect
+                    if self.failure:
+                        return
+                    continue
+                assert task.strategy is not None
+                action_name = task.strategy.action(rect)
+                if action_name is None:
+                    self.failure = "no-route"
+                    return
+            moves[task.droplet_id] = action_name
+            targets[task.droplet_id] = apply_action(rect, ACTIONS[action_name])
+        self._maybe_advance_routing(name, state)
+
+    def _maybe_advance_routing(self, name: str, state: _MOState) -> None:
+        alive = [t for t in state.tasks if t.droplet_id in self.droplets]
+        if not alive or not all(t.arrived for t in alive):
+            return
+        mo = self.graph.mo(name)
+        if mo.type in (MOType.OUT, MOType.DSC):
+            for task in alive:
+                volume, conc = self._chemistry.get(task.droplet_id, (0.0, 0.0))
+                self.collected.append((name, volume, conc))
+                self._remove_droplet(task.droplet_id)
+            self._finish(name, state, outputs=())
+            return
+        if mo.type is MOType.MAG and state.stage == "route_in":
+            state.stage = "holding"
+            state.phase = MOPhase.OPERATING
+            state.hold_remaining = max(mo.hold_cycles, 1)
+            return
+        if mo.type in (MOType.MIX, MOType.DLT):
+            if state.stage == "route_in":
+                # Both inputs inside their (overlapping) goals but the merge
+                # has not been detected yet — the adjacency check in
+                # apply_outcomes will coalesce them next cycle.
+                return
+            if state.stage == "route_merged":
+                state.stage = "holding"
+                state.phase = MOPhase.OPERATING
+                state.hold_remaining = max(mo.hold_cycles, 1)
+                return
+            if state.stage == "route_out":
+                outputs = tuple(t.droplet_id for t in alive)
+                self._finish(name, state, outputs=outputs)
+                return
+        if mo.type is MOType.SPT and state.stage == "route_out":
+            outputs = tuple(t.droplet_id for t in alive)
+            self._finish(name, state, outputs=outputs)
+
+    def _finish(self, name: str, state: _MOState, outputs: tuple[int, ...]) -> None:
+        for slot, did in enumerate(outputs):
+            self._park(name, slot, did)
+        state.tasks = []
+        state.phase = MOPhase.DONE
+        state.done_cycle = self.cycle
+        self.events.append(MOEvent(self.cycle, name, "done"))
+
+    # -- operate phase ---------------------------------------------------------------
+
+    def _plan_operating(
+        self, name: str, state: _MOState, targets: dict[int, Rect]
+    ) -> None:
+        mo = self.graph.mo(name)
+        if mo.type is MOType.DIS:
+            state.dispense_remaining -= 1
+            if state.dispense_remaining <= 0:
+                self._materialize_dispense(name, state)
+            return
+        for task in state.tasks:
+            if task.droplet_id in self.droplets:
+                targets[task.droplet_id] = self.droplets[task.droplet_id]
+        state.hold_remaining -= 1
+        if state.hold_remaining > 0:
+            return
+        if mo.type is MOType.MAG:
+            task = state.tasks[0]
+            self._finish(name, state, outputs=(task.droplet_id,))
+            return
+        if mo.type is MOType.MIX:
+            task = state.tasks[0]
+            self._finish(name, state, outputs=(task.droplet_id,))
+            return
+        if mo.type is MOType.SPT:
+            self._perform_split(name, state, job_indices=(0, 1))
+            return
+        if mo.type is MOType.DLT:
+            self._perform_split(name, state, job_indices=(2, 3))
+            return
+        raise AssertionError(f"unhandled operating MO type {mo.type}")
+
+    def _materialize_dispense(self, name: str, state: _MOState) -> None:
+        goal = state.decomposed.jobs[0].goal
+        fence = goal.expanded(1)
+        for did, rect in self.droplets.items():
+            if fence.overlaps(rect):
+                return  # port blocked; retry next cycle
+        did = self._new_droplet(
+            goal, name, concentration=self.graph.mo(name).concentration
+        )
+        self._finish(name, state, outputs=(did,))
+
+    def _perform_split(
+        self, name: str, state: _MOState, job_indices: tuple[int, int]
+    ) -> None:
+        parent = state.tasks[0].droplet_id
+        volume, concentration = self._chemistry.get(parent, (0.0, 0.0))
+        self._remove_droplet(parent)
+        dec = state.decomposed
+        tasks = []
+        for job_index in job_indices:
+            job = dec.jobs[job_index]
+            did = self._new_droplet(job.start, name, volume=volume / 2,
+                                    concentration=concentration)
+            tasks.append(RoutingTask(did, self._with_obstacles(job, name)))
+        state.tasks = tasks
+        state.stage = "route_out"
+        state.phase = MOPhase.ROUTING
+        self.events.append(MOEvent(self.cycle, name, "split"))
+
+    # -- merge resolution ------------------------------------------------------------
+
+    def _resolve_intended_merges(self) -> None:
+        for name in self._order:
+            state = self._states[name]
+            if state.phase is not MOPhase.ROUTING or state.stage != "route_in":
+                continue
+            mo = self.graph.mo(name)
+            if mo.type not in (MOType.MIX, MOType.DLT):
+                continue
+            alive = [t for t in state.tasks if t.droplet_id in self.droplets]
+            if len(alive) != 2:
+                continue
+            r0 = self.droplets[alive[0].droplet_id]
+            r1 = self.droplets[alive[1].droplet_id]
+            if not r0.adjacent_or_overlapping(r1):
+                continue
+            self._merge_inputs(name, state, alive, r0, r1)
+
+    def _merge_inputs(
+        self,
+        name: str,
+        state: _MOState,
+        tasks: list[RoutingTask],
+        r0: Rect,
+        r1: Rect,
+    ) -> None:
+        mo = self.graph.mo(name)
+        dec = state.decomposed
+        shape = fit_droplet_shape(r0.area + r1.area)
+        bbox = r0.union_bbox(r1)
+        cx, cy = bbox.center
+        merged = self._place_on_chip(cx, cy, shape)
+        v0, c0 = self._chemistry.get(tasks[0].droplet_id, (float(r0.area), 0.0))
+        v1, c1 = self._chemistry.get(tasks[1].droplet_id, (float(r1.area), 0.0))
+        volume = v0 + v1
+        concentration = (v0 * c0 + v1 * c1) / volume if volume else 0.0
+        for task in tasks:
+            self._remove_droplet(task.droplet_id)
+        did = self._new_droplet(merged, name, volume=volume,
+                                concentration=concentration)
+        self.events.append(MOEvent(self.cycle, name, "merged"))
+        if mo.type is MOType.MIX:
+            goal = dec.output_patterns[0]
+        else:
+            assert dec.merged_pattern is not None
+            goal = dec.merged_pattern
+        job = self._with_obstacles(
+            RoutingJob(merged, goal, zone(merged, goal, self.width, self.height)),
+            name,
+        )
+        state.tasks = [RoutingTask(did, job)]
+        state.stage = "route_merged"
+
+    def _place_on_chip(self, cx: float, cy: float, shape: tuple[int, int]) -> Rect:
+        rect = rect_from_center(cx, cy, shape[0], shape[1])
+        dx = max(0, 1 - rect.xa) - max(0, rect.xb - self.width)
+        dy = max(0, 1 - rect.ya) - max(0, rect.yb - self.height)
+        return rect.translated(dx, dy)
+
+    def _check_unintended_merges(self) -> None:
+        if self.failure:
+            return
+        alive = list(self.droplets.items())
+        for i, (did0, r0) in enumerate(alive):
+            for did1, r1 in alive[i + 1 :]:
+                if self._owner.get(did0) == self._owner.get(did1):
+                    continue  # same-MO pairs are managed by the MO itself
+                if r0.adjacent_or_overlapping(r1):
+                    self.failure = "unintended-merge"
+                    return
+
+    # -- statistics ---------------------------------------------------------------
+
+    def mo_phase(self, name: str) -> MOPhase:
+        return self._states[name].phase
+
+    def mo_cycles(self, name: str) -> tuple[int, int]:
+        """(activated, done) cycle numbers of an MO (-1 if not reached)."""
+        state = self._states[name]
+        return state.activated_cycle, state.done_cycle

@@ -1,0 +1,110 @@
+"""Routing strategies and the offline strategy library (Sec. VI-D).
+
+The hybrid scheduling scheme keeps a library of synthesized strategies keyed
+by routing job and by the health information inside the job's hazard zone.
+At runtime the scheduler first consults the library; a miss triggers
+(re-)synthesis and the result is cached.  Because MC health is monotone
+non-increasing, cached entries never need invalidation — a changed ``H``
+simply keys a different entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.routing_job import RoutingJob
+from repro.core.synthesis import SynthesisResult
+from repro.geometry.rect import Rect
+from repro.modelcheck.strategy import MemorylessStrategy
+
+
+@dataclass(frozen=True)
+class RoutingStrategy:
+    """A droplet routing strategy ``pi: patterns -> action names``.
+
+    Wraps the model checker's memoryless strategy with the routing job it
+    solves and the value achieved (expected cycles or success probability).
+    """
+
+    job: RoutingJob
+    policy: MemorylessStrategy
+    expected_cycles: float
+
+    def action(self, delta: Rect) -> str | None:
+        """The prescribed action for the current droplet pattern.
+
+        ``None`` when the pattern satisfies the goal (nothing left to do) or
+        when the strategy is undefined there (the pattern was unreachable
+        under the synthesis model — the scheduler treats that as a miss and
+        resynthesizes from the new pattern).
+        """
+        return self.policy.action(delta)
+
+    def covers(self, delta: Rect) -> bool:
+        """Whether the strategy prescribes an action at ``delta``."""
+        return self.policy.action(delta) is not None
+
+
+def health_fingerprint(health: np.ndarray, zone: Rect) -> bytes:
+    """A hashable digest of the health values inside a hazard zone.
+
+    Only the zone's cells can influence the synthesized strategy, so the
+    library keys on exactly those values (1-based inclusive rectangle).
+    """
+    sub = health[zone.xa - 1 : zone.xb, zone.ya - 1 : zone.yb]
+    return np.ascontiguousarray(sub).tobytes()
+
+
+@dataclass
+class StrategyLibrary:
+    """The offline/online strategy cache of the hybrid scheduler.
+
+    Pure-offline synthesis for all possible ``H`` values is intractable (the
+    paper notes ``|S| > 10^77`` for a modest chip), so the library is
+    populated lazily: entries are added as jobs are synthesized, including
+    the degradation-free pre-synthesis pass the hybrid scheme starts from.
+    """
+
+    entries: dict[tuple[tuple[int, ...], bytes], RoutingStrategy] = field(
+        default_factory=dict
+    )
+    hits: int = 0
+    misses: int = 0
+
+    def _key(
+        self, job: RoutingJob, health: np.ndarray
+    ) -> tuple[tuple[int, ...], bytes]:
+        return (job.key(), health_fingerprint(health, job.hazard))
+
+    def get(self, job: RoutingJob, health: np.ndarray) -> RoutingStrategy | None:
+        """Look up a strategy for ``job`` under the current health matrix."""
+        entry = self.entries.get(self._key(job, health))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(
+        self, job: RoutingJob, health: np.ndarray, strategy: RoutingStrategy
+    ) -> None:
+        """Cache a synthesized strategy."""
+        self.entries[self._key(job, health)] = strategy
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def strategy_from_synthesis(
+    job: RoutingJob, result: SynthesisResult
+) -> RoutingStrategy | None:
+    """Wrap a synthesis result, or ``None`` when synthesis failed."""
+    if result.strategy is None:
+        return None
+    return RoutingStrategy(
+        job=job,
+        policy=result.strategy,
+        expected_cycles=result.expected_cycles,
+    )

@@ -1,0 +1,196 @@
+"""Routing-strategy synthesis (Sec. VI-C, Algorithm 2).
+
+``synthesize`` is the paper's ``SYNTH(RJ, H)``: build the routing MDP from
+the routing job and the current health matrix, pose the reward query
+``phi_r: Rmin=? [ [] !hazard && <> goal ]`` (or the probabilistic query
+``phi_p: Pmax=? [...]``), hand it to the model checker and return the
+optimal strategy together with the expected completion time (or success
+probability).  When no strategy exists the result carries
+``(pi, k) = (None, inf)``, matching the paper's convention.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.actions import DEFAULT_MAX_ASPECT, ActionClass
+from repro.core.fastmdp import (
+    CompiledRoutingModel,
+    build_routing_model_fast,
+    extract_fast_strategy,
+)
+from repro.core.mdp import RoutingModel, build_routing_mdp
+from repro.core.routing_job import RoutingJob
+from repro.core.transitions import ForceField, MatrixForceField, UniformForceField
+from repro.degradation.model import (
+    DEFAULT_HEALTH_BITS,
+    health_to_degradation_estimate,
+)
+from repro.modelcheck.compiled import (
+    compile_mdp,
+    solve_reach_avoid_probability,
+    solve_reach_avoid_reward,
+)
+from repro.modelcheck.properties import Objective, Query, reward_query
+from repro.modelcheck.strategy import MemorylessStrategy, extract_strategy
+
+#: Default convergence threshold for synthesis-time value iteration.  The
+#: routing decisions are insensitive to value errors far below one cycle, so
+#: this is much looser than the model checker's verification default.
+SYNTHESIS_EPSILON = 1e-6
+
+
+def force_field_from_health(
+    health: np.ndarray,
+    bits: int = DEFAULT_HEALTH_BITS,
+    pessimistic: bool = False,
+) -> MatrixForceField:
+    """The controller's force estimate from the observed health matrix.
+
+    The controller sees only the quantized ``H``; it reconstructs a
+    degradation estimate ``D_hat`` per MC (mid-bucket by default,
+    bucket-floor with ``pessimistic=True``) and uses ``D_hat²`` as the
+    relative force — eq. 2's ``F = D²`` with the estimate substituted.
+    """
+    d_hat = health_to_degradation_estimate(health, bits=bits, pessimistic=pessimistic)
+    return MatrixForceField(np.asarray(d_hat, dtype=float) ** 2)
+
+
+def force_field_from_degradation(degradation: np.ndarray) -> MatrixForceField:
+    """The *true* force field ``F = D²`` — what the simulator rolls dice with."""
+    return MatrixForceField(np.asarray(degradation, dtype=float) ** 2)
+
+
+def _force_matrix(field: ForceField) -> np.ndarray | None:
+    """The force matrix behind a field, or None for exotic field objects."""
+    if isinstance(field, MatrixForceField):
+        return field.forces
+    if isinstance(field, UniformForceField):
+        return np.full((field.width, field.height), field.value)
+    return None
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Output of ``SYNTH``: the strategy, its value, and bookkeeping.
+
+    ``expected_cycles`` is ``E[r_k]`` for reward queries (``inf`` when no
+    strategy reaches the goal almost surely); ``success_probability`` is
+    filled for probabilistic queries.  ``construction_time`` and
+    ``solve_time`` split the runtime the way Table V reports it.
+    """
+
+    strategy: MemorylessStrategy | None
+    expected_cycles: float
+    success_probability: float | None
+    model: "RoutingModel | CompiledRoutingModel"
+    construction_time: float
+    solve_time: float
+
+    @property
+    def total_time(self) -> float:
+        return self.construction_time + self.solve_time
+
+    @property
+    def exists(self) -> bool:
+        """Whether a usable strategy was synthesized."""
+        return self.strategy is not None
+
+
+def synthesize(
+    job: RoutingJob,
+    health: np.ndarray,
+    bits: int = DEFAULT_HEALTH_BITS,
+    query: Query | None = None,
+    max_aspect: float = DEFAULT_MAX_ASPECT,
+    pessimistic: bool = False,
+    epsilon: float = SYNTHESIS_EPSILON,
+) -> SynthesisResult:
+    """Algorithm 2: synthesize an adaptive routing strategy for ``job``.
+
+    ``health`` is the current sensed health matrix ``H`` (shape ``(W, H)``).
+    The default query is the paper's ``phi_r`` (minimum expected cycles).
+    """
+    field = force_field_from_health(health, bits=bits, pessimistic=pessimistic)
+    return synthesize_with_field(
+        job, field, query=query, max_aspect=max_aspect, epsilon=epsilon
+    )
+
+
+def synthesize_with_field(
+    job: RoutingJob,
+    field: ForceField,
+    query: Query | None = None,
+    max_aspect: float = DEFAULT_MAX_ASPECT,
+    epsilon: float = SYNTHESIS_EPSILON,
+    families: tuple[ActionClass, ...] | None = None,
+) -> SynthesisResult:
+    """Synthesize against an explicit force field.
+
+    Used directly by the degradation-unaware baseline (uniform full-health
+    field) and by the ablation benches (true-``D`` oracle fields).
+    """
+    query = query if query is not None else reward_query()
+
+    t0 = time.perf_counter()
+    forces = _force_matrix(field)
+    if forces is not None:
+        model: RoutingModel | CompiledRoutingModel = build_routing_model_fast(
+            job, forces, max_aspect=max_aspect, families=families
+        )
+        compiled = model.compiled
+    else:
+        model = build_routing_mdp(
+            job, field, max_aspect=max_aspect, families=families
+        )
+        compiled = compile_mdp(model.mdp)
+    t1 = time.perf_counter()
+
+    if query.objective in (Objective.RMIN, Objective.RMAX):
+        result = solve_reach_avoid_reward(
+            compiled,
+            goal=query.formula.goal_label,
+            avoid=query.formula.avoid_label,
+            minimize=query.objective is Objective.RMIN,
+            epsilon=epsilon,
+        )
+        expected = float(result.values[compiled.initial])
+        probability = None
+    else:
+        result = solve_reach_avoid_probability(
+            compiled,
+            goal=query.formula.goal_label,
+            avoid=query.formula.avoid_label,
+            maximize=query.objective is Objective.PMAX,
+            epsilon=epsilon,
+        )
+        probability = float(result.values[compiled.initial])
+        expected = float("inf") if probability == 0.0 else float("nan")
+    t2 = time.perf_counter()
+
+    if isinstance(model, CompiledRoutingModel):
+        strategy: MemorylessStrategy | None = extract_fast_strategy(model, result)
+    else:
+        strategy = extract_strategy(model.mdp, result)
+    no_plan = (
+        query.objective in (Objective.RMIN, Objective.RMAX)
+        and not np.isfinite(expected)
+    ) or (probability is not None and probability <= 0.0)
+    if no_plan or strategy.action(job.start) is None and not job.goal.contains(job.start):
+        strategy = None
+    return SynthesisResult(
+        strategy=strategy,
+        expected_cycles=expected,
+        success_probability=probability,
+        model=model,
+        construction_time=t1 - t0,
+        solve_time=t2 - t1,
+    )
+
+
+def baseline_field(width: int, height: int) -> UniformForceField:
+    """The degradation-unaware router's world view: full force everywhere."""
+    return UniformForceField(width=width, height=height, value=1.0)

@@ -1,0 +1,60 @@
+"""Microelectrode degradation: the charge-trapping model and its validation.
+
+Implements Sec. III-C / IV of the paper: the exponential force-decay model,
+the simulated PCB validation experiments (Figs. 5-6), model fitting, and the
+fault-injection modes used in the evaluation (Sec. VII-C).
+"""
+
+from repro.degradation.faults import (
+    CLUSTER_SIZE,
+    FaultInjector,
+    FaultMode,
+    FaultPlan,
+    no_faults,
+)
+from repro.degradation.fitting import (
+    ForceFit,
+    adjusted_r2,
+    fit_capacitance_slope,
+    fit_decay_rate,
+    fit_force_curve,
+)
+from repro.degradation.model import (
+    DEFAULT_HEALTH_BITS,
+    PAPER_FITTED_CONSTANTS,
+    DegradationParams,
+    health_to_degradation_estimate,
+    quantize_health,
+    sample_params,
+)
+from repro.degradation.pcb import (
+    DegradationCurve,
+    Oscilloscope,
+    PCBBiochip,
+    PCBElectrode,
+    run_degradation_experiment,
+)
+
+__all__ = [
+    "CLUSTER_SIZE",
+    "DEFAULT_HEALTH_BITS",
+    "PAPER_FITTED_CONSTANTS",
+    "DegradationCurve",
+    "DegradationParams",
+    "FaultInjector",
+    "FaultMode",
+    "FaultPlan",
+    "ForceFit",
+    "Oscilloscope",
+    "PCBBiochip",
+    "PCBElectrode",
+    "adjusted_r2",
+    "fit_capacitance_slope",
+    "fit_decay_rate",
+    "fit_force_curve",
+    "health_to_degradation_estimate",
+    "no_faults",
+    "quantize_health",
+    "run_degradation_experiment",
+    "sample_params",
+]

@@ -1,0 +1,127 @@
+"""Least-squares fitting of the exponential degradation model (Fig. 6).
+
+The paper fits ``F(n) = tau^(2n/c)`` to the measured relative-force curves
+and reports per-size constants with adjusted R² above 0.94.  Note that the
+model is over-parameterized: only the decay rate ``lambda = -2 ln(tau) / c``
+is identifiable from a single exponential — every ``(tau, c)`` pair with the
+same ratio fits identically.  We therefore expose both the identifiable rate
+(:func:`fit_decay_rate`) and a two-parameter fit anchored the way the paper's
+constants are (:func:`fit_force_curve` holds ``c`` near a reference scale);
+tests compare reproductions on the identifiable rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import curve_fit
+
+
+@dataclass(frozen=True)
+class ForceFit:
+    """Result of fitting ``F(n) = tau^(2n/c)`` to a force curve."""
+
+    tau: float
+    c: float
+    r2_adjusted: float
+
+    @property
+    def decay_rate(self) -> float:
+        """The identifiable exponential rate ``-2 ln(tau) / c``."""
+        return -2.0 * np.log(self.tau) / self.c
+
+    def predict(self, n: np.ndarray) -> np.ndarray:
+        """Model forces at actuation counts ``n``."""
+        return self.tau ** (2.0 * np.asarray(n, dtype=float) / self.c)
+
+
+def adjusted_r2(observed: np.ndarray, predicted: np.ndarray, n_params: int) -> float:
+    """Adjusted coefficient of determination.
+
+    ``R²_adj = 1 - (1 - R²) (n - 1) / (n - p - 1)`` for ``n`` samples and
+    ``p`` fitted parameters.
+    """
+    observed = np.asarray(observed, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if observed.shape != predicted.shape:
+        raise ValueError("observed/predicted shapes differ")
+    n = observed.size
+    if n <= n_params + 1:
+        raise ValueError("not enough samples for an adjusted R²")
+    ss_res = float(np.sum((observed - predicted) ** 2))
+    ss_tot = float(np.sum((observed - np.mean(observed)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else -np.inf
+    r2 = 1.0 - ss_res / ss_tot
+    return 1.0 - (1.0 - r2) * (n - 1) / (n - n_params - 1)
+
+
+def fit_decay_rate(n: np.ndarray, force: np.ndarray) -> tuple[float, float]:
+    """Fit ``F = exp(-lambda n)`` by linear regression on ``log F``.
+
+    Returns ``(lambda, r2_adjusted)``.  This is the identifiable content of
+    the paper's two-parameter model.  Non-positive force samples (possible
+    under measurement noise near full decay) are excluded from the log fit.
+    """
+    n = np.asarray(n, dtype=float)
+    force = np.asarray(force, dtype=float)
+    mask = force > 0.0
+    if mask.sum() < 3:
+        raise ValueError("need at least three positive force samples")
+    slope, intercept = np.polyfit(n[mask], np.log(force[mask]), 1)
+    predicted = np.exp(intercept + slope * n[mask])
+    return -float(slope), adjusted_r2(force[mask], predicted, n_params=1)
+
+
+def fit_force_curve(
+    n: np.ndarray,
+    force: np.ndarray,
+    c_reference: float = 800.0,
+    c_slack: float = 0.25,
+) -> ForceFit:
+    """Two-parameter fit of ``F(n) = tau^(2n/c)`` anchored near ``c_reference``.
+
+    ``c`` is constrained to ``c_reference * (1 ± c_slack)`` to resolve the
+    (tau, c) ridge the same way the paper's reported constants do (all three
+    of its ``c`` values sit near 800).  The returned adjusted R² is computed
+    on the linear (not log) scale, matching how Fig. 6 reports fit quality.
+    """
+    n = np.asarray(n, dtype=float)
+    force = np.asarray(force, dtype=float)
+    if n.shape != force.shape:
+        raise ValueError("n and force must have the same shape")
+    if n.size < 4:
+        raise ValueError("need at least four samples for the two-parameter fit")
+
+    def model(x: np.ndarray, tau: float, c: float) -> np.ndarray:
+        return tau ** (2.0 * x / c)
+
+    c_lo, c_hi = c_reference * (1.0 - c_slack), c_reference * (1.0 + c_slack)
+    popt, _ = curve_fit(
+        model,
+        n,
+        force,
+        p0=(0.55, c_reference),
+        bounds=((1e-6, c_lo), (1.0, c_hi)),
+        maxfev=10_000,
+    )
+    tau, c = float(popt[0]), float(popt[1])
+    return ForceFit(
+        tau=tau,
+        c=c,
+        r2_adjusted=adjusted_r2(force, model(n, tau, c), n_params=2),
+    )
+
+
+def fit_capacitance_slope(n: np.ndarray, capacitance: np.ndarray) -> tuple[float, float]:
+    """Linear fit of capacitance vs actuation count (the Fig. 5 claim).
+
+    Returns ``(slope, r2_adjusted)``; the paper's observation is that
+    capacitance growth is linear in the number of actuations.
+    """
+    n = np.asarray(n, dtype=float)
+    capacitance = np.asarray(capacitance, dtype=float)
+    slope, intercept = np.polyfit(n, capacitance, 1)
+    predicted = intercept + slope * n
+    return float(slope), adjusted_r2(capacitance, predicted, n_params=1)

@@ -1,0 +1,300 @@
+"""Simulated PCB digital-microfluidic biochip for the degradation experiments.
+
+Sec. IV-A validates the charge-trapping degradation model on a fabricated
+PCB DMFB (Fig. 4): electrodes in three sizes (2x2, 3x3, 4x4 mm²), four
+reservoirs, relay-driven actuation at 1.5 kHz / 200 Vpp with a 1 MOhm series
+resistor, and capacitance measured from the RC charging time on an
+oscilloscope.  We cannot ship the hardware, so this module simulates the
+physics the experiment exercises:
+
+* every actuation traps charge in the dielectric in proportion to the
+  actuation duration (1 s in the charge-trapping experiment, 5 s in the
+  residual-charge experiment);
+* trapped charge raises the effective electrode capacitance *linearly* in
+  the accumulated stress — the Fig. 5 observable — and excessive actuation
+  additionally leaves residual charge that amplifies the growth (Fig. 5b is
+  markedly steeper than 5a);
+* trapped charge screens the actuation field, so the effective actuation
+  voltage decays as ``V(n) = Va * tau^(n/c)`` and the relative EWOD force as
+  ``F(n) = tau^(2n/c)`` — the Fig. 6 observable, with per-size constants
+  matching the paper's fits.
+
+Measurements are taken exactly as in the paper: the simulated oscilloscope
+observes the charging-time of the electrode RC path and the capacitance is
+recovered from the RC charge equation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.rc import RCPath, capacitance_from_charging_time
+from repro.degradation.model import PAPER_FITTED_CONSTANTS, DegradationParams
+
+#: Series resistance between each electrode and the high-voltage source.
+SERIES_RESISTANCE_OHM = 1.0e6
+
+#: Actuation source: 1.5 kHz, 200 Vpp (Sec. IV-A).
+ACTUATION_VPP = 200.0
+
+#: Threshold fraction of Vpp at which the oscilloscope reads the charging time.
+SCOPE_THRESHOLD_FRACTION = 0.632  # one time constant
+
+#: Electrode sizes on the fabricated DMFB, in millimetres.
+ELECTRODE_SIZES_MM = (2, 3, 4)
+
+#: Actuation durations for the two experiments (seconds).
+NORMAL_ACTUATION_S = 1.0
+EXCESSIVE_ACTUATION_S = 5.0
+
+#: Duration above which residual charge accumulates (Sec. IV-A: excessive
+#: actuation "substantially increases the amount of charge that accumulates").
+RESIDUAL_CHARGE_ONSET_S = 2.0
+
+#: Residual-charge amplification of the capacitance-growth slope.
+RESIDUAL_AMPLIFICATION = 2.0
+
+
+def nominal_capacitance(size_mm: int) -> float:
+    """Nominal (undegraded) capacitance of a ``size_mm`` square electrode.
+
+    Parallel-plate estimate with a ~25 um dielectric of relative
+    permittivity ~3; gives a few picofarads for millimetre-scale electrodes,
+    the scale the oscilloscope measurement resolves easily through a 1 MOhm
+    series resistor.
+    """
+    if size_mm <= 0:
+        raise ValueError("electrode size must be positive")
+    eps = 3.0 * 8.854e-12
+    area = (size_mm * 1e-3) ** 2
+    gap = 25e-6
+    return eps * area / gap
+
+
+@dataclass
+class PCBElectrode:
+    """One electrode of the PCB DMFB and its degradation state.
+
+    ``params`` are the exponential force-decay constants; the defaults come
+    from the paper's per-size fits.  ``cap_growth_per_second`` is the
+    fractional capacitance increase per second of accumulated actuation
+    stress (the Fig. 5 slope).
+    """
+
+    size_mm: int
+    params: DegradationParams
+    cap_growth_per_second: float = 2.0e-4
+    actuation_count: int = 0
+    stress_seconds: float = field(default=0.0)
+
+    @property
+    def c0(self) -> float:
+        """Nominal capacitance before any actuation."""
+        return nominal_capacitance(self.size_mm)
+
+    def actuate(self, duration_s: float = NORMAL_ACTUATION_S) -> None:
+        """Apply one actuation of ``duration_s`` seconds.
+
+        Durations past :data:`RESIDUAL_CHARGE_ONSET_S` accumulate residual
+        charge on top of ordinary trapping, amplifying the effective stress.
+        """
+        if duration_s <= 0.0:
+            raise ValueError("actuation duration must be positive")
+        stress = duration_s
+        if duration_s > RESIDUAL_CHARGE_ONSET_S:
+            stress += RESIDUAL_AMPLIFICATION * (duration_s - RESIDUAL_CHARGE_ONSET_S)
+        self.actuation_count += 1
+        self.stress_seconds += stress
+
+    @property
+    def true_capacitance(self) -> float:
+        """The electrode's current effective capacitance (noise-free)."""
+        return self.c0 * (1.0 + self.cap_growth_per_second * self.stress_seconds)
+
+    def effective_voltage(self, v_actuation: float = ACTUATION_VPP) -> float:
+        """Actuation voltage reaching the droplet after charge screening.
+
+        ``V(n) = Va * tau^(n/c)`` (eq. 3 of the paper).
+        """
+        return v_actuation * float(self.params.degradation(self.actuation_count))
+
+    def relative_force(self) -> float:
+        """Relative EWOD force ``(V/Va)^2 = tau^(2n/c)`` (eq. 1-2)."""
+        return float(self.params.relative_force(self.actuation_count))
+
+
+@dataclass(frozen=True)
+class ScopeMeasurement:
+    """One oscilloscope capacitance measurement."""
+
+    actuation_count: int
+    charging_time_s: float
+    capacitance_f: float
+
+
+class Oscilloscope:
+    """Measures electrode capacitance from the RC charging time.
+
+    Mirrors the Sec. IV-A procedure: actuate the electrode, watch the node
+    voltage rise through ``SCOPE_THRESHOLD_FRACTION * Vpp``, and invert
+    ``V_C(t) = Vpp (1 - e^(-t/RC))`` for the effective capacitance.
+    ``noise_fraction`` models scope trigger/readout jitter.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        resistance: float = SERIES_RESISTANCE_OHM,
+        v_supply: float = ACTUATION_VPP,
+        noise_fraction: float = 0.01,
+    ) -> None:
+        if noise_fraction < 0.0:
+            raise ValueError("noise fraction cannot be negative")
+        self._rng = rng
+        self._resistance = resistance
+        self._v_supply = v_supply
+        self._noise_fraction = noise_fraction
+
+    def measure(self, electrode: PCBElectrode) -> ScopeMeasurement:
+        """Measure the electrode's capacitance through the charging time."""
+        path = RCPath(self._resistance, electrode.true_capacitance, self._v_supply)
+        threshold = SCOPE_THRESHOLD_FRACTION * self._v_supply
+        t_star = path.charging_time(threshold)
+        if self._noise_fraction > 0.0:
+            t_star *= 1.0 + self._rng.normal(0.0, self._noise_fraction)
+            t_star = max(t_star, 1e-12)
+        cap = capacitance_from_charging_time(
+            t_star, self._resistance, self._v_supply, threshold
+        )
+        return ScopeMeasurement(
+            actuation_count=electrode.actuation_count,
+            charging_time_s=t_star,
+            capacitance_f=cap,
+        )
+
+
+def default_params_for_size(size_mm: int) -> DegradationParams:
+    """The paper's fitted ``(tau, c)`` for a given electrode size."""
+    if size_mm not in PAPER_FITTED_CONSTANTS:
+        raise ValueError(
+            f"no fitted constants for {size_mm} mm electrodes; "
+            f"known sizes: {sorted(PAPER_FITTED_CONSTANTS)}"
+        )
+    tau, c = PAPER_FITTED_CONSTANTS[size_mm]
+    return DegradationParams(tau=tau, c=c)
+
+
+class PCBBiochip:
+    """The fabricated DMFB of Fig. 4: a bank of electrodes in three sizes.
+
+    ``electrodes_per_size`` electrodes of each of the 2/3/4 mm sizes are
+    instantiated; reservoirs are modelled as the dispensing endpoints of the
+    actuation sequences (they carry no degradation state of their own).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        electrodes_per_size: int = 8,
+        cap_growth_per_second: float = 2.0e-4,
+    ) -> None:
+        if electrodes_per_size <= 0:
+            raise ValueError("need at least one electrode per size")
+        self._rng = rng
+        self.electrodes: dict[int, list[PCBElectrode]] = {
+            size: [
+                PCBElectrode(
+                    size_mm=size,
+                    params=default_params_for_size(size),
+                    cap_growth_per_second=cap_growth_per_second,
+                )
+                for _ in range(electrodes_per_size)
+            ]
+            for size in ELECTRODE_SIZES_MM
+        }
+        self.scope = Oscilloscope(rng)
+
+    def run_actuation_sequence(
+        self, repetitions: int, duration_s: float = NORMAL_ACTUATION_S
+    ) -> None:
+        """Execute ``repetitions`` rounds of the repeated fluidic sequence.
+
+        Each round actuates every electrode once for ``duration_s`` — the
+        "each electrode is actuated for 1 s for hundreds of times" protocol.
+        """
+        if repetitions < 0:
+            raise ValueError("repetitions cannot be negative")
+        for _ in range(repetitions):
+            for bank in self.electrodes.values():
+                for electrode in bank:
+                    electrode.actuate(duration_s)
+
+    def measure_bank(self, size_mm: int) -> list[ScopeMeasurement]:
+        """Scope measurements for every electrode of one size."""
+        return [self.scope.measure(e) for e in self.electrodes[size_mm]]
+
+
+@dataclass(frozen=True)
+class DegradationCurve:
+    """A (actuation count, mean capacitance, mean relative force) series."""
+
+    size_mm: int
+    duration_s: float
+    actuations: np.ndarray
+    capacitance_f: np.ndarray
+    relative_force: np.ndarray
+
+    def capacitance_slope(self) -> float:
+        """Least-squares slope of capacitance vs actuation count (F/actuation)."""
+        coeffs = np.polyfit(self.actuations, self.capacitance_f, 1)
+        return float(coeffs[0])
+
+
+def run_degradation_experiment(
+    rng: np.random.Generator,
+    duration_s: float = NORMAL_ACTUATION_S,
+    total_actuations: int = 800,
+    measure_every: int = 50,
+    electrodes_per_size: int = 8,
+    force_noise: float = 0.02,
+) -> dict[int, DegradationCurve]:
+    """Run the Fig. 5 / Fig. 6 experiment and return per-size curves.
+
+    ``duration_s = 1`` reproduces the charge-trapping experiment (Fig. 5a);
+    ``duration_s = 5`` the residual-charge experiment (Fig. 5b).  Relative
+    force readings carry multiplicative noise ``force_noise`` to mimic the
+    droplet-velocity-based force estimation scatter visible in Fig. 6.
+    """
+    if total_actuations <= 0 or measure_every <= 0:
+        raise ValueError("actuation counts must be positive")
+    chip = PCBBiochip(rng, electrodes_per_size=electrodes_per_size)
+    checkpoints = list(range(0, total_actuations + 1, measure_every))
+    series: dict[int, dict[str, list[float]]] = {
+        size: {"n": [], "cap": [], "force": []} for size in ELECTRODE_SIZES_MM
+    }
+    done = 0
+    for checkpoint in checkpoints:
+        chip.run_actuation_sequence(checkpoint - done, duration_s=duration_s)
+        done = checkpoint
+        for size in ELECTRODE_SIZES_MM:
+            measurements = chip.measure_bank(size)
+            mean_cap = float(np.mean([m.capacitance_f for m in measurements]))
+            forces = [
+                e.relative_force() * (1.0 + rng.normal(0.0, force_noise))
+                for e in chip.electrodes[size]
+            ]
+            series[size]["n"].append(float(checkpoint))
+            series[size]["cap"].append(mean_cap)
+            series[size]["force"].append(float(np.clip(np.mean(forces), 0.0, 1.5)))
+    return {
+        size: DegradationCurve(
+            size_mm=size,
+            duration_s=duration_s,
+            actuations=np.asarray(series[size]["n"]),
+            capacitance_f=np.asarray(series[size]["cap"]),
+            relative_force=np.asarray(series[size]["force"]),
+        )
+        for size in ELECTRODE_SIZES_MM
+    }

@@ -1,0 +1,5 @@
+"""Discrete geometry primitives shared across the library."""
+
+from repro.geometry.rect import Rect, manhattan, rect_from_center
+
+__all__ = ["Rect", "manhattan", "rect_from_center"]

@@ -1,0 +1,115 @@
+"""PRISM explicit-format interchange for the induced models.
+
+The paper runs its synthesis queries through PRISM-games; this module lets
+a user cross-validate our solver against a real PRISM installation by
+exporting any explicit MDP in PRISM's explicit-import format:
+
+* ``<prefix>.tra`` — transitions: header ``states choices transitions``,
+  then one ``src choice dst prob action`` row per probabilistic edge;
+* ``<prefix>.lab`` — labels: a header mapping label ids to names
+  (``0="init"`` is mandatory in PRISM), then ``state: ids`` rows;
+* ``<prefix>.sta`` — state names (one representation string per state).
+
+PRISM usage: ``prism -importtrans model.tra -importlabels model.lab -mdp
+-pf 'Pmax=? [ !"hazard" U "goal" ]'``.
+
+A matching importer reads the same three files back, enabling round-trip
+tests and the import of models produced by other tools.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.modelcheck.model import MDP
+
+
+def export_prism_explicit(mdp: MDP, prefix: str | Path) -> dict[str, Path]:
+    """Write ``<prefix>.tra/.lab/.sta``; returns the created paths."""
+    mdp.validate()
+    prefix = Path(prefix)
+    prefix.parent.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "tra": prefix.with_suffix(".tra"),
+        "lab": prefix.with_suffix(".lab"),
+        "sta": prefix.with_suffix(".sta"),
+    }
+
+    lines = [f"{mdp.num_states} {mdp.num_choices} {mdp.num_transitions}"]
+    for s in range(mdp.num_states):
+        for c_idx, choice in enumerate(mdp.enabled(s)):
+            for t, p in choice.successors:
+                lines.append(f"{s} {c_idx} {t} {p:.12g} {choice.label}")
+    paths["tra"].write_text("\n".join(lines) + "\n")
+
+    label_names = ["init"] + sorted(mdp.labels)
+    header = " ".join(f'{i}="{name}"' for i, name in enumerate(label_names))
+    rows = [header]
+    by_state: dict[int, list[int]] = {}
+    assert mdp.initial is not None
+    by_state.setdefault(mdp.initial, []).append(0)
+    for i, name in enumerate(label_names[1:], start=1):
+        for s in mdp.label_set(name):
+            by_state.setdefault(s, []).append(i)
+    for s in sorted(by_state):
+        ids = " ".join(str(i) for i in sorted(by_state[s]))
+        rows.append(f"{s}: {ids}")
+    paths["lab"].write_text("\n".join(rows) + "\n")
+
+    sta = ["(state)"]
+    for s, state in enumerate(mdp.states):
+        sta.append(f"{s}:({state!r})")
+    paths["sta"].write_text("\n".join(sta) + "\n")
+    return paths
+
+
+def import_prism_explicit(prefix: str | Path) -> MDP:
+    """Read a ``.tra``/``.lab`` pair back into an explicit MDP.
+
+    States are reconstructed as their integer indices (the ``.sta`` file is
+    informational only); choice rewards are set to 1 per action, matching
+    the routing models' cycle reward.
+    """
+    prefix = Path(prefix)
+    tra = prefix.with_suffix(".tra").read_text().splitlines()
+    header = tra[0].split()
+    n_states = int(header[0])
+
+    mdp = MDP()
+    for s in range(n_states):
+        mdp.add_state(s)
+    # Collect rows per (state, choice) so multi-successor distributions are
+    # reassembled before validation.
+    grouped: dict[tuple[int, int], tuple[str, list[tuple[int, float]]]] = {}
+    for line in tra[1:]:
+        if not line.strip():
+            continue
+        parts = line.split()
+        src, choice, dst = int(parts[0]), int(parts[1]), int(parts[2])
+        prob = float(parts[3])
+        label = parts[4] if len(parts) > 4 else f"c{choice}"
+        entry = grouped.setdefault((src, choice), (label, []))
+        entry[1].append((dst, prob))
+    for (src, _choice), (label, successors) in sorted(grouped.items()):
+        mdp.add_choice(src, label, successors, reward=1.0)
+
+    lab = prefix.with_suffix(".lab").read_text().splitlines()
+    id_to_name = dict(
+        (int(m.group(1)), m.group(2))
+        for m in re.finditer(r'(\d+)="([^"]+)"', lab[0])
+    )
+    for line in lab[1:]:
+        if not line.strip():
+            continue
+        state_part, ids = line.split(":")
+        s = int(state_part)
+        for token in ids.split():
+            name = id_to_name[int(token)]
+            if name == "init":
+                mdp.set_initial(s)
+            else:
+                mdp.add_label(name, s)
+    if mdp.initial is None:
+        raise ValueError(f"{prefix}.lab declares no init state")
+    return mdp

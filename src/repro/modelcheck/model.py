@@ -1,0 +1,175 @@
+"""Explicit-state probabilistic models: MDPs and stochastic games.
+
+This package replaces PRISM-games in the paper's toolchain (Algorithm 2 calls
+the model checker as a black box ``PRISMG(G, phi, delta_s)``).  The queries
+the paper issues — maximum probability of ``[] !hazard && <> goal`` and
+minimum expected cycles to the goal — are constrained-reachability and
+stochastic-shortest-path problems, solved here by the same explicit value
+iteration PRISM uses for these query classes.
+
+States are arbitrary hashable objects (the routing layer uses droplet
+rectangles); choices carry an action label and a sparse successor
+distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+import numpy as np
+
+State = Hashable
+
+
+@dataclass(frozen=True)
+class Choice:
+    """One nondeterministic choice: an action label, reward and distribution.
+
+    ``successors`` maps successor-state indices to probabilities; they must
+    form a probability distribution.  ``reward`` is accrued when the choice
+    is taken (the paper's ``r_k`` assigns one cycle per microfluidic action).
+    """
+
+    label: str
+    successors: tuple[tuple[int, float], ...]
+    reward: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for _, p in self.successors:
+            if p <= 0.0:
+                raise ValueError("successor probabilities must be positive")
+            total += p
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"choice {self.label!r} distribution sums to {total}")
+        if self.reward < 0.0:
+            raise ValueError("rewards must be non-negative")
+
+
+class MDP:
+    """An explicit-state Markov decision process.
+
+    Built incrementally via :meth:`add_state` / :meth:`add_choice`; states
+    with no choices are absorbing (the solvers treat them as sinks).  Label
+    sets mark goal/hazard states for the property layer.
+    """
+
+    def __init__(self) -> None:
+        self.states: list[State] = []
+        self.state_index: dict[State, int] = {}
+        self.choices: list[list[Choice]] = []
+        self.labels: dict[str, set[int]] = {}
+        self.initial: int | None = None
+
+    # -- construction ------------------------------------------------------
+
+    def add_state(self, state: State) -> int:
+        """Add (or look up) a state; returns its index."""
+        if state in self.state_index:
+            return self.state_index[state]
+        idx = len(self.states)
+        self.states.append(state)
+        self.state_index[state] = idx
+        self.choices.append([])
+        return idx
+
+    def add_choice(
+        self,
+        state: State,
+        label: str,
+        successors: Iterable[tuple[State, float]],
+        reward: float = 0.0,
+    ) -> None:
+        """Attach a choice to ``state``; successor states are auto-added."""
+        idx = self.add_state(state)
+        succ = tuple(
+            (self.add_state(s), float(p)) for s, p in successors if p > 0.0
+        )
+        self.choices[idx].append(Choice(label=label, successors=succ, reward=reward))
+
+    def set_initial(self, state: State) -> None:
+        """Mark the initial state (added if new)."""
+        self.initial = self.add_state(state)
+
+    def add_label(self, name: str, state: State) -> None:
+        """Attach label ``name`` to ``state``."""
+        idx = self.add_state(state)
+        self.labels.setdefault(name, set()).add(idx)
+
+    def label_set(self, name: str) -> set[int]:
+        """Indices of states carrying label ``name`` (empty if unused)."""
+        return self.labels.get(name, set())
+
+    # -- statistics (the Table V columns) ------------------------------------
+
+    @property
+    def num_states(self) -> int:
+        return len(self.states)
+
+    @property
+    def num_choices(self) -> int:
+        """Total state-action pairs (PRISM's "choices" column)."""
+        return sum(len(cs) for cs in self.choices)
+
+    @property
+    def num_transitions(self) -> int:
+        """Total probabilistic edges (PRISM's "transitions" column)."""
+        return sum(len(c.successors) for cs in self.choices for c in cs)
+
+    def enabled(self, idx: int) -> list[Choice]:
+        """Choices enabled in state ``idx``."""
+        return self.choices[idx]
+
+    def is_absorbing(self, idx: int) -> bool:
+        """Whether state ``idx`` has no outgoing choices."""
+        return not self.choices[idx]
+
+    def validate(self) -> None:
+        """Sanity-check the model: an initial state and valid distributions.
+
+        Distribution validity is enforced at construction; this re-checks
+        the global invariants cheaply so callers can assert before solving.
+        """
+        if self.initial is None:
+            raise ValueError("model has no initial state")
+        for name, members in self.labels.items():
+            for idx in members:
+                if not 0 <= idx < self.num_states:
+                    raise ValueError(f"label {name!r} marks unknown state {idx}")
+
+
+#: Player identifiers for stochastic games (the paper's (1) controller and
+#: (2) degradation player).
+PLAYER_CONTROLLER = 1
+PLAYER_ENVIRONMENT = 2
+
+
+class SMG(MDP):
+    """A turn-based stochastic multiplayer game.
+
+    Extends the MDP with a player assignment per state; player 1 (the droplet
+    controller) maximizes the objective, player 2 (chip degradation) resolves
+    its nondeterminism adversarially or cooperatively depending on the query.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.player: dict[int, int] = {}
+
+    def set_player(self, state: State, player: int) -> None:
+        if player not in (PLAYER_CONTROLLER, PLAYER_ENVIRONMENT):
+            raise ValueError(f"unknown player {player}")
+        self.player[self.add_state(state)] = player
+
+    def player_of(self, idx: int) -> int:
+        """The player owning state ``idx`` (controller when unset)."""
+        return self.player.get(idx, PLAYER_CONTROLLER)
+
+    def validate(self) -> None:
+        super().validate()
+        for idx in range(self.num_states):
+            if not self.is_absorbing(idx) and idx not in self.player:
+                raise ValueError(
+                    f"non-absorbing state {self.states[idx]!r} has no player"
+                )

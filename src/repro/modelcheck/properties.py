@@ -1,0 +1,64 @@
+"""Property layer: labels, the reach-avoid LTL fragment, and queries.
+
+The paper's routing requirement is the LTL formula
+
+    phi: [] (!hazard) && <> goal
+
+over the two state labels *goal* and *hazard* (Sec. VI-C), wrapped in either
+a probabilistic query ``Pmax=? [phi]`` or a reward query ``Rmin=? [phi]``.
+For this fragment, model checking reduces to constrained reachability:
+maximize the probability of reaching a goal state along paths that never
+enter a hazard state, or minimize the expected cumulated reward until a goal
+state is reached while staying hazard-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Objective(Enum):
+    """The query families the synthesizer issues (Sec. VI-C)."""
+
+    PMAX = "Pmax=?"
+    PMIN = "Pmin=?"
+    RMIN = "Rmin=?"
+    RMAX = "Rmax=?"
+
+
+@dataclass(frozen=True)
+class ReachAvoid:
+    """The formula ``[] (!avoid) && <> goal`` over two state labels."""
+
+    goal_label: str = "goal"
+    avoid_label: str = "hazard"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[] (!{self.avoid_label}) && <> {self.goal_label}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A synthesis query: an objective over a reach-avoid formula.
+
+    ``phi_p`` of the paper is ``Query(Objective.PMAX, ReachAvoid())``;
+    ``phi_r`` is ``Query(Objective.RMIN, ReachAvoid())`` with the per-action
+    cycle reward attached to the model's choices.
+    """
+
+    objective: Objective
+    formula: ReachAvoid = ReachAvoid()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.objective.value} [ {self.formula} ]"
+
+
+def probability_query(goal: str = "goal", avoid: str = "hazard") -> Query:
+    """The paper's ``phi_p: Pmax=? [ [] !hazard && <> goal ]``."""
+    return Query(Objective.PMAX, ReachAvoid(goal, avoid))
+
+
+def reward_query(goal: str = "goal", avoid: str = "hazard") -> Query:
+    """The paper's ``phi_r: Rmin=? [ [] !hazard && <> goal ]``."""
+    return Query(Objective.RMIN, ReachAvoid(goal, avoid))

@@ -1,0 +1,151 @@
+"""Constrained-reachability probabilities by value iteration.
+
+Computes ``Pmax`` / ``Pmin`` of ``[] !avoid && <> goal`` on an explicit MDP:
+goal states get value 1, avoid states value 0 (entering one falsifies the
+safety conjunct), and every other state iterates
+
+    V(s) = opt_a  sum_{s'} P(s' | s, a) V(s')
+
+to the least fixpoint from V = 0, which is the standard characterization of
+maximal/minimal reachability probabilities.  Absorbing non-goal states keep
+value 0 (the run never reaches the goal).
+
+Also provides the graph-based ``prob1e`` set — the states from which *some*
+strategy reaches the goal with probability one while avoiding hazards —
+needed for the well-definedness of expected-reward queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.modelcheck.model import MDP
+
+#: Convergence threshold for value iteration (absolute sup-norm).
+DEFAULT_EPSILON = 1e-9
+
+#: Hard cap on iterations; reach-avoid VI on these models converges
+#: geometrically, so hitting the cap indicates a modelling bug.
+DEFAULT_MAX_ITERATIONS = 100_000
+
+
+@dataclass(frozen=True)
+class ValueResult:
+    """Values per state plus the optimal choice index where defined.
+
+    ``choice[s]`` is -1 for states with no enabled choices or where every
+    choice is equally (non-)optimal because the state is absorbing/goal.
+    """
+
+    values: np.ndarray
+    choice: np.ndarray
+    iterations: int
+
+
+def _prepare(mdp: MDP, goal: str, avoid: str) -> tuple[set[int], set[int]]:
+    goal_states = mdp.label_set(goal)
+    avoid_states = mdp.label_set(avoid)
+    if overlap := goal_states & avoid_states:
+        raise ValueError(f"states {overlap} are both goal and avoid")
+    return goal_states, avoid_states
+
+
+def reach_avoid_probability(
+    mdp: MDP,
+    goal: str = "goal",
+    avoid: str = "hazard",
+    maximize: bool = True,
+    epsilon: float = DEFAULT_EPSILON,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> ValueResult:
+    """``Pmax`` (or ``Pmin``) of ``[] !avoid && <> goal`` for every state."""
+    goal_states, avoid_states = _prepare(mdp, goal, avoid)
+    n = mdp.num_states
+    values = np.zeros(n)
+    for g in goal_states:
+        values[g] = 1.0
+    choice = np.full(n, -1, dtype=int)
+    frozen = goal_states | avoid_states
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        delta = 0.0
+        for s in range(n):
+            if s in frozen or mdp.is_absorbing(s):
+                continue
+            best_val: float | None = None
+            best_choice = -1
+            for c_idx, c in enumerate(mdp.enabled(s)):
+                v = sum(p * values[t] for t, p in c.successors)
+                if (
+                    best_val is None
+                    or (maximize and v > best_val)
+                    or (not maximize and v < best_val)
+                ):
+                    best_val, best_choice = v, c_idx
+            assert best_val is not None
+            delta = max(delta, abs(best_val - values[s]))
+            values[s], choice[s] = best_val, best_choice
+        if delta < epsilon:
+            break
+    else:  # pragma: no cover - indicates a modelling bug
+        raise RuntimeError(f"value iteration did not converge in {max_iterations} steps")
+    return ValueResult(values=values, choice=choice, iterations=iterations)
+
+
+def prob1e(mdp: MDP, goal: str = "goal", avoid: str = "hazard") -> set[int]:
+    """States where some strategy reaches ``goal`` w.p. 1, avoiding ``avoid``.
+
+    The classic nested fixpoint ``nu Z. mu Y. goal | Pre(Z, Y)``: a state
+    qualifies when some choice keeps all probability inside the candidate set
+    ``Z`` while giving a positive-probability step toward ``Y`` (states
+    already known to reach the goal).  Avoid states and absorbing non-goal
+    states never qualify.
+    """
+    goal_states, avoid_states = _prepare(mdp, goal, avoid)
+    n = mdp.num_states
+    candidates = {
+        s
+        for s in range(n)
+        if s not in avoid_states and (s in goal_states or not mdp.is_absorbing(s))
+    }
+
+    while True:
+        # mu Y: least fixpoint of goal | exists-choice(succ subset Z, hits Y)
+        reached = set(goal_states & candidates)
+        changed = True
+        while changed:
+            changed = False
+            for s in candidates:
+                if s in reached or s in goal_states:
+                    continue
+                for c in mdp.enabled(s):
+                    succs = [t for t, _ in c.successors]
+                    if all(t in candidates for t in succs) and any(
+                        t in reached for t in succs
+                    ):
+                        reached.add(s)
+                        changed = True
+                        break
+        if reached == candidates:
+            return candidates
+        candidates = reached
+
+
+def reachable_states(mdp: MDP, from_state: int | None = None) -> set[int]:
+    """Indices reachable from ``from_state`` (default: the initial state)."""
+    start = mdp.initial if from_state is None else from_state
+    if start is None:
+        raise ValueError("model has no initial state")
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        s = frontier.pop()
+        for c in mdp.enabled(s):
+            for t, _ in c.successors:
+                if t not in seen:
+                    seen.add(t)
+                    frontier.append(t)
+    return seen

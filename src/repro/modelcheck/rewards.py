@@ -1,0 +1,95 @@
+"""Expected total reward to the goal (stochastic shortest path).
+
+Solves the paper's reward query ``phi_r: Rmin=? [ [] !hazard && <> goal ]``:
+the minimum expected cumulated reward (cycles, with the paper's ``r_k``
+assigning one unit per microfluidic action) until a goal state is reached
+along hazard-free paths.
+
+Following PRISM's total-reward semantics, a state gets value ``inf`` unless
+some strategy reaches the goal with probability one while avoiding hazards —
+otherwise reward accrues forever on the non-reaching runs.  The optimal
+strategy must also *stay* inside that probability-one region, so value
+iteration only considers choices whose successors all remain in it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.modelcheck.model import MDP
+from repro.modelcheck.reachability import (
+    DEFAULT_EPSILON,
+    DEFAULT_MAX_ITERATIONS,
+    ValueResult,
+    prob1e,
+)
+
+
+def reach_avoid_reward(
+    mdp: MDP,
+    goal: str = "goal",
+    avoid: str = "hazard",
+    minimize: bool = True,
+    epsilon: float = DEFAULT_EPSILON,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> ValueResult:
+    """``Rmin`` (or ``Rmax``) of the cumulated reward until ``goal``.
+
+    Goal states have value 0; states outside the probability-one region have
+    value ``inf``.  For ``Rmax`` the iteration is capped to the same region
+    (maximal total reward is infinite wherever the goal can be postponed
+    forever, so the meaningful maximization is over goal-reaching
+    strategies; this matches PRISM's ``Rmax`` on proper policies).
+    """
+    goal_states = mdp.label_set(goal)
+    sure = prob1e(mdp, goal=goal, avoid=avoid)
+
+    n = mdp.num_states
+    values = np.full(n, np.inf)
+    choice = np.full(n, -1, dtype=int)
+    for g in goal_states:
+        if g in sure:
+            values[g] = 0.0
+
+    # Restrict to choices that keep the run inside the probability-one
+    # region; these always exist for states in `sure` by construction.
+    usable: list[list[int]] = [[] for _ in range(n)]
+    for s in sure:
+        if s in goal_states:
+            continue
+        for c_idx, c in enumerate(mdp.enabled(s)):
+            if all(t in sure for t, _ in c.successors):
+                usable[s].append(c_idx)
+
+    active = [s for s in sure if s not in goal_states and usable[s]]
+    # Start the iteration from 0 on active states: for minimization this is
+    # the standard monotone-from-below SSP iteration; for maximization the
+    # restriction to proper (goal-reaching) choices keeps it bounded.
+    for s in active:
+        values[s] = 0.0
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        delta = 0.0
+        for s in active:
+            best_val: float | None = None
+            best_choice = -1
+            for c_idx in usable[s]:
+                c = mdp.enabled(s)[c_idx]
+                v = c.reward + sum(p * values[t] for t, p in c.successors)
+                if (
+                    best_val is None
+                    or (minimize and v < best_val)
+                    or (not minimize and v > best_val)
+                ):
+                    best_val, best_choice = v, c_idx
+            assert best_val is not None
+            delta = max(delta, abs(best_val - values[s]))
+            values[s], choice[s] = best_val, best_choice
+        if delta < epsilon:
+            break
+    else:  # pragma: no cover - indicates a modelling bug
+        raise RuntimeError(
+            f"reward iteration did not converge in {max_iterations} steps"
+        )
+    return ValueResult(values=values, choice=choice, iterations=iterations)

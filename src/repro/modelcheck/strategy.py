@@ -1,0 +1,65 @@
+"""Memoryless strategy extraction from solved models.
+
+For the reach-avoid fragment, memoryless deterministic strategies suffice on
+MDPs and turn-based SMGs, so a strategy is simply a map from state to the
+action label of the optimal choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.modelcheck.model import MDP
+from repro.modelcheck.reachability import ValueResult
+
+State = Hashable
+
+
+@dataclass(frozen=True)
+class MemorylessStrategy:
+    """A state -> action-label map plus the value achieved from each state.
+
+    ``value_at`` returns ``None`` for states outside the model, letting
+    callers distinguish "unknown state" from "known but losing state".
+    """
+
+    decisions: dict[State, str]
+    values: dict[State, float]
+    initial_value: float
+
+    def action(self, state: State) -> str | None:
+        """The prescribed action label, or ``None`` if the strategy is
+        undefined at ``state`` (goal/hazard/unreached states)."""
+        return self.decisions.get(state)
+
+    def value_at(self, state: State) -> float | None:
+        return self.values.get(state)
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+
+def extract_strategy(mdp: MDP, result: ValueResult) -> MemorylessStrategy:
+    """Build a :class:`MemorylessStrategy` from a solved model.
+
+    States whose optimal choice index is -1 (absorbing, goal, hazard or
+    unreachable under the objective) carry a value but no decision.
+    """
+    decisions: dict[State, str] = {}
+    values: dict[State, float] = {}
+    for idx, state in enumerate(mdp.states):
+        values[state] = float(result.values[idx])
+        c_idx = int(result.choice[idx])
+        if c_idx >= 0:
+            decisions[state] = mdp.enabled(idx)[c_idx].label
+    if mdp.initial is None:
+        raise ValueError("model has no initial state")
+    initial_value = float(result.values[mdp.initial])
+    if np.isnan(initial_value):
+        raise ValueError("initial state has no defined value")
+    return MemorylessStrategy(
+        decisions=decisions, values=values, initial_value=initial_value
+    )

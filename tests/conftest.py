@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.biochip.chip import MedaChip
+from repro.core.routing_job import RoutingJob
+from repro.geometry.rect import Rect
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG; tests share the seed so failures reproduce."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def full_health() -> np.ndarray:
+    """A 60x30 health matrix at full health (b=2 -> level 3)."""
+    return np.full((60, 30), 3)
+
+
+@pytest.fixture
+def small_job() -> RoutingJob:
+    """A small 4x4-droplet routing job inside a 20x16 zone."""
+    return RoutingJob(
+        start=Rect(3, 3, 6, 6),
+        goal=Rect(14, 10, 17, 13),
+        hazard=Rect(1, 1, 20, 16),
+    )
+
+
+@pytest.fixture
+def healthy_chip(rng: np.random.Generator) -> MedaChip:
+    """A 30x20 chip with slow degradation (effectively healthy in tests)."""
+    return MedaChip.sample(
+        30, 20, rng, tau_range=(0.95, 0.99), c_range=(5000.0, 9000.0)
+    )

@@ -1,0 +1,274 @@
+"""Tests for the action set: Table II frontier sets, guards, Fig. 9 effects."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.actions import (
+    ACTIONS,
+    ALL_ACTIONS,
+    CARDINAL_ACTIONS,
+    DOUBLE_ACTIONS,
+    HEIGHTEN_ACTIONS,
+    ORDINAL_ACTIONS,
+    WIDEN_ACTIONS,
+    ActionClass,
+    apply_action,
+    enabled_actions,
+    frontier,
+    frontier_directions,
+    guard,
+)
+from repro.geometry.rect import Rect
+
+#: The running example droplet of the paper: delta = (3, 2, 7, 5).
+DELTA = Rect(3, 2, 7, 5)
+
+
+def droplets() -> st.SearchStrategy[Rect]:
+    return st.tuples(
+        st.integers(5, 20), st.integers(5, 20),
+        st.integers(0, 5), st.integers(0, 5),
+    ).map(lambda t: Rect(t[0], t[1], t[0] + t[2], t[1] + t[3]))
+
+
+class TestRegistry:
+    def test_twenty_actions(self):
+        assert len(ALL_ACTIONS) == 20
+
+    def test_family_sizes(self):
+        assert len(CARDINAL_ACTIONS) == 4
+        assert len(DOUBLE_ACTIONS) == 4
+        assert len(ORDINAL_ACTIONS) == 4
+        assert len(WIDEN_ACTIONS) == 4
+        assert len(HEIGHTEN_ACTIONS) == 4
+
+    def test_names_unique(self):
+        assert len({a.name for a in ALL_ACTIONS}) == 20
+
+
+class TestMoveEffects:
+    """Fig. 9: intended droplet patterns after successful execution."""
+
+    def test_cardinal_north(self):
+        assert apply_action(DELTA, ACTIONS["a_N"]) == Rect(3, 3, 7, 6)
+
+    def test_cardinal_south(self):
+        assert apply_action(DELTA, ACTIONS["a_S"]) == Rect(3, 1, 7, 4)
+
+    def test_cardinal_east(self):
+        assert apply_action(DELTA, ACTIONS["a_E"]) == Rect(4, 2, 8, 5)
+
+    def test_cardinal_west(self):
+        assert apply_action(DELTA, ACTIONS["a_W"]) == Rect(2, 2, 6, 5)
+
+    def test_double_north(self):
+        assert apply_action(DELTA, ACTIONS["a_NN"]) == Rect(3, 4, 7, 7)
+
+    def test_double_east(self):
+        assert apply_action(DELTA, ACTIONS["a_EE"]) == Rect(5, 2, 9, 5)
+
+    def test_ordinal_ne(self):
+        assert apply_action(DELTA, ACTIONS["a_NE"]) == Rect(4, 3, 8, 6)
+
+    def test_ordinal_sw(self):
+        assert apply_action(DELTA, ACTIONS["a_SW"]) == Rect(2, 1, 6, 4)
+
+    def test_widen_ne_grows_east_drops_bottom_row(self):
+        # a_vNE: width +1 toward E, height -1 (bottom row released).
+        assert apply_action(DELTA, ACTIONS["a_vNE"]) == Rect(3, 3, 8, 5)
+
+    def test_widen_sw_grows_west_drops_top_row(self):
+        assert apply_action(DELTA, ACTIONS["a_vSW"]) == Rect(2, 2, 7, 4)
+
+    def test_heighten_ne_grows_north_drops_west_column(self):
+        assert apply_action(DELTA, ACTIONS["a_^NE"]) == Rect(4, 2, 7, 6)
+
+    def test_heighten_sw_grows_south_drops_east_column(self):
+        assert apply_action(DELTA, ACTIONS["a_^SW"]) == Rect(3, 1, 6, 5)
+
+
+class TestTableII:
+    """The frontier sets of Table II for delta = (xa, ya, xb, yb)."""
+
+    def test_a_n(self):
+        assert frontier(DELTA, ACTIONS["a_N"], "N") == Rect(3, 6, 7, 6)
+        assert frontier(DELTA, ACTIONS["a_N"], "E") is None
+        assert frontier(DELTA, ACTIONS["a_N"], "S") is None
+
+    def test_a_s(self):
+        assert frontier(DELTA, ACTIONS["a_S"], "S") == Rect(3, 1, 7, 1)
+
+    def test_a_e(self):
+        assert frontier(DELTA, ACTIONS["a_E"], "E") == Rect(8, 2, 8, 5)
+        assert frontier(DELTA, ACTIONS["a_E"], "N") is None
+
+    def test_a_w(self):
+        assert frontier(DELTA, ACTIONS["a_W"], "W") == Rect(2, 2, 2, 5)
+
+    def test_a_ne_example2(self):
+        """Example 2: Fr(delta; a_NE, E) = [8,8]x[3,6], Fr(..., N) = [4,8]x[6,6]."""
+        assert frontier(DELTA, ACTIONS["a_NE"], "E") == Rect(8, 3, 8, 6)
+        assert frontier(DELTA, ACTIONS["a_NE"], "N") == Rect(4, 6, 8, 6)
+
+    def test_a_nw(self):
+        assert frontier(DELTA, ACTIONS["a_NW"], "N") == Rect(2, 6, 6, 6)
+        assert frontier(DELTA, ACTIONS["a_NW"], "W") == Rect(2, 3, 2, 6)
+
+    def test_a_se(self):
+        assert frontier(DELTA, ACTIONS["a_SE"], "S") == Rect(4, 1, 8, 1)
+        assert frontier(DELTA, ACTIONS["a_SE"], "E") == Rect(8, 1, 8, 4)
+
+    def test_a_sw(self):
+        assert frontier(DELTA, ACTIONS["a_SW"], "S") == Rect(2, 1, 6, 1)
+        assert frontier(DELTA, ACTIONS["a_SW"], "W") == Rect(2, 1, 2, 4)
+
+    def test_widen_frontiers(self):
+        # a_vNE: Fr(.., E) = [xb+, xb+] x [ya+, yb], size yb - ya.
+        fr = frontier(DELTA, ACTIONS["a_vNE"], "E")
+        assert fr == Rect(8, 3, 8, 5)
+        assert fr.area == DELTA.yb - DELTA.ya
+        assert frontier(DELTA, ACTIONS["a_vNE"], "N") is None
+
+    def test_widen_sw_frontier(self):
+        assert frontier(DELTA, ACTIONS["a_vSW"], "W") == Rect(2, 2, 2, 4)
+
+    def test_heighten_frontiers(self):
+        # a_^NE: Fr(.., N) = [xa+, xb] x [yb+, yb+], size xb - xa.
+        fr = frontier(DELTA, ACTIONS["a_^NE"], "N")
+        assert fr == Rect(4, 6, 7, 6)
+        assert fr.area == DELTA.xb - DELTA.xa
+        assert frontier(DELTA, ACTIONS["a_^NE"], "E") is None
+
+    def test_heighten_sw_frontier(self):
+        assert frontier(DELTA, ACTIONS["a_^SW"], "S") == Rect(3, 1, 6, 1)
+
+    def test_frontier_sizes_match_table(self):
+        w, h = DELTA.width, DELTA.height
+        assert frontier(DELTA, ACTIONS["a_N"], "N").area == w
+        assert frontier(DELTA, ACTIONS["a_E"], "E").area == h
+        assert frontier(DELTA, ACTIONS["a_NE"], "N").area == w
+        assert frontier(DELTA, ACTIONS["a_NE"], "E").area == h
+        assert frontier(DELTA, ACTIONS["a_vSE"], "E").area == h - 1
+        assert frontier(DELTA, ACTIONS["a_^SE"], "S").area == w - 1
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError):
+            frontier(DELTA, ACTIONS["a_N"], "X")
+
+    def test_frontier_directions(self):
+        assert frontier_directions(ACTIONS["a_N"]) == ("N",)
+        assert frontier_directions(ACTIONS["a_EE"]) == ("E",)
+        assert set(frontier_directions(ACTIONS["a_SE"])) == {"S", "E"}
+        assert frontier_directions(ACTIONS["a_vNW"]) == ("W",)
+        assert frontier_directions(ACTIONS["a_^SE"]) == ("S",)
+
+
+class TestGuards:
+    def test_paper_guard_example(self):
+        """Sec. V-B: for r = 3/2 and delta = (3, 2, 7, 5), g_up holds while
+        g_down does not."""
+        assert guard(DELTA, ACTIONS["a_^NE"], max_aspect=1.5)
+        assert not guard(DELTA, ACTIONS["a_vNE"], max_aspect=1.5)
+
+    def test_double_step_needs_length_four(self):
+        tall = Rect(3, 3, 5, 6)  # 3 wide, 4 tall
+        assert guard(tall, ACTIONS["a_NN"])
+        assert guard(tall, ACTIONS["a_SS"])
+        assert not guard(tall, ACTIONS["a_EE"])
+        assert not guard(tall, ACTIONS["a_WW"])
+
+    def test_cardinal_and_ordinal_always_enabled(self):
+        tiny = Rect(5, 5, 5, 5)
+        for action in CARDINAL_ACTIONS + ORDINAL_ACTIONS:
+            assert guard(tiny, action)
+
+    def test_single_row_cannot_widen(self):
+        flat = Rect(3, 3, 6, 3)
+        for action in WIDEN_ACTIONS:
+            assert not guard(flat, action, max_aspect=100.0)
+
+    def test_single_column_cannot_heighten(self):
+        thin = Rect(3, 3, 3, 6)
+        for action in HEIGHTEN_ACTIONS:
+            assert not guard(thin, action, max_aspect=100.0)
+
+    def test_square_droplet_morphs_disabled_at_r_1_5(self):
+        square = Rect(5, 5, 8, 8)
+        enabled = enabled_actions(square, max_aspect=1.5)
+        assert not any(
+            a.klass in (ActionClass.WIDEN, ActionClass.HEIGHTEN) for a in enabled
+        )
+
+    def test_square_4x4_morphs_enabled_at_r_2(self):
+        square = Rect(5, 5, 8, 8)
+        enabled = enabled_actions(square, max_aspect=2.0)
+        assert any(a.klass is ActionClass.WIDEN for a in enabled)
+
+    def test_invalid_aspect_bound_rejected(self):
+        with pytest.raises(ValueError):
+            guard(DELTA, ACTIONS["a_vNE"], max_aspect=0.5)
+
+
+class TestProperties:
+    @given(droplets(), st.sampled_from(list(ALL_ACTIONS)))
+    def test_frontier_disjoint_from_droplet(self, delta: Rect, action):
+        for direction in frontier_directions(action):
+            fr = frontier(delta, action, direction)
+            if fr is not None:
+                assert not fr.overlaps(delta)
+
+    @given(droplets(), st.sampled_from(list(ALL_ACTIONS)))
+    def test_frontier_inside_result_pattern(self, delta: Rect, action):
+        """Every frontier MC belongs to the successful-move pattern: the
+        frontier cells are the ones that pull the droplet to where it goes."""
+        if action.klass is ActionClass.DOUBLE:
+            return  # the first-hop frontier lies inside the one-step pattern
+        if not guard(delta, action, max_aspect=1e9):
+            return  # degenerate morph: no frontier, no result pattern
+        result = apply_action(delta, action)
+        for direction in frontier_directions(action):
+            fr = frontier(delta, action, direction)
+            if fr is not None:
+                assert result.contains(fr) or result.overlaps(fr)
+
+    @given(droplets(), st.sampled_from(list(CARDINAL_ACTIONS + DOUBLE_ACTIONS + ORDINAL_ACTIONS)))
+    def test_moves_preserve_shape(self, delta: Rect, action):
+        result = apply_action(delta, action)
+        assert (result.width, result.height) == (delta.width, delta.height)
+
+    @given(droplets(), st.sampled_from(list(WIDEN_ACTIONS)))
+    def test_widen_changes_shape_correctly(self, delta: Rect, action):
+        if delta.height < 2:
+            return
+        result = apply_action(delta, action)
+        assert result.width == delta.width + 1
+        assert result.height == delta.height - 1
+
+    @given(droplets(), st.sampled_from(list(HEIGHTEN_ACTIONS)))
+    def test_heighten_changes_shape_correctly(self, delta: Rect, action):
+        if delta.width < 2:
+            return
+        result = apply_action(delta, action)
+        assert result.width == delta.width - 1
+        assert result.height == delta.height + 1
+
+    @given(droplets())
+    def test_morph_guards_respect_aspect_bound(self, delta: Rect):
+        """If the droplet starts within [1/r, r], any guarded morph keeps it
+        there — the inductive invariant the guards exist to maintain."""
+        r = 2.0
+        if not 1 / r <= delta.aspect_ratio <= r:
+            return
+        for action in WIDEN_ACTIONS + HEIGHTEN_ACTIONS:
+            if guard(delta, action, max_aspect=r):
+                result = apply_action(delta, action)
+                assert 1 / r <= result.aspect_ratio <= r
+
+    @given(droplets())
+    def test_opposite_cardinal_moves_cancel(self, delta: Rect):
+        there = apply_action(delta, ACTIONS["a_N"])
+        back = apply_action(there, ACTIONS["a_S"])
+        assert back == delta

@@ -1,0 +1,171 @@
+"""Tests for the analysis layer: correlations, metrics, table rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import (
+    _pairs_at_distance,
+    correlation_vs_distance,
+    pairwise_correlation,
+)
+from repro.analysis.metrics import (
+    chip_factory_for,
+    probability_of_success,
+    run_execution,
+    trial_cycles,
+)
+from repro.analysis.tables import format_series, format_table
+from repro.bioassay.library import covid_rat
+from repro.bioassay.planner import plan
+from repro.core.baseline import AdaptiveRouter, BaselineRouter
+
+
+class TestPairwiseCorrelation:
+    def test_identical_vectors(self):
+        a = np.array([0, 1, 1, 0, 1])
+        assert pairwise_correlation(a, a) == pytest.approx(1.0)
+
+    def test_opposite_vectors(self):
+        a = np.array([0, 1, 1, 0, 1])
+        assert pairwise_correlation(a, 1 - a) == pytest.approx(-1.0)
+
+    def test_constant_vector_is_nan(self):
+        assert np.isnan(pairwise_correlation(np.zeros(5), np.ones(5)))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_correlation(np.zeros(5), np.zeros(4))
+
+
+class TestPairsAtDistance:
+    def test_simple_grid(self):
+        cells = [(0, 0), (1, 0), (0, 1), (2, 0)]
+        pairs = _pairs_at_distance(cells, 1)
+        as_sets = {frozenset(p) for p in pairs}
+        assert frozenset({(0, 0), (1, 0)}) in as_sets
+        assert frozenset({(0, 0), (0, 1)}) in as_sets
+        assert frozenset({(1, 0), (2, 0)}) in as_sets
+
+    def test_no_duplicates(self):
+        cells = [(i, j) for i in range(5) for j in range(5)]
+        pairs = _pairs_at_distance(cells, 2)
+        as_sets = [frozenset(p) for p in pairs]
+        assert len(as_sets) == len(set(as_sets))
+
+    def test_distance_respected(self):
+        cells = [(i, j) for i in range(6) for j in range(6)]
+        for d in (1, 2, 3):
+            for (a, b) in _pairs_at_distance(cells, d):
+                assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == d
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            _pairs_at_distance([(0, 0)], 0)
+
+
+class TestCorrelationVsDistance:
+    def test_clustered_actuation_decays_with_distance(self):
+        """A moving 3-wide activity band produces correlations that fall
+        with Manhattan distance — the Fig. 3 mechanism in miniature."""
+        rng = np.random.default_rng(0)
+        width, height, cycles = 16, 12, 160
+        vectors = np.zeros((width, height, cycles), dtype=np.uint8)
+        x = 3.0
+        for k in range(cycles):
+            x = (x + 0.25) % (width - 4)
+            xi = int(x)
+            vectors[xi : xi + 3, 4:8, k] = 1
+        curve = correlation_vs_distance(vectors, [1, 2, 3, 4, 5], rng=rng)
+        vals = curve.mean_correlation
+        assert vals[0] > vals[-1]
+        assert vals[0] > 0.5
+
+    def test_pair_counts_reported(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.integers(0, 2, size=(8, 8, 50)).astype(np.uint8)
+        curve = correlation_vs_distance(vectors, [1, 3], rng=rng)
+        assert (curve.num_pairs > 0).all()
+        assert curve.as_dict().keys() == {1, 3}
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            correlation_vs_distance(np.zeros((4, 4)), [1])
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["xx", 3.25]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.500" in out and "3.250" in out
+
+    def test_format_table_row_length_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_series(self):
+        out = format_series("k", [100, 200], {"adaptive": [0.9, 0.8],
+                                              "baseline": [0.5, 0.2]})
+        assert "adaptive" in out and "baseline" in out
+        assert "0.900" in out
+
+    def test_special_float_rendering(self):
+        out = format_table(["v"], [[float("inf")], [float("nan")]])
+        assert "inf" in out and "nan" in out
+
+
+def _quick_setup():
+    graph = plan(covid_rat(), 30, 20)
+    chip_factory = chip_factory_for(30, 20, tau_range=(0.9, 0.99),
+                                    c_range=(2000, 4000))
+    return graph, chip_factory
+
+
+class TestMetrics:
+    def test_run_execution_succeeds_on_healthy_chip(self):
+        graph, chip_factory = _quick_setup()
+        chip = chip_factory(np.random.default_rng(0))
+        result = run_execution(graph, chip, AdaptiveRouter(),
+                               np.random.default_rng(1), max_cycles=400)
+        assert result.success
+
+    def test_pos_curve_monotone_in_budget(self):
+        graph, chip_factory = _quick_setup()
+        pos = probability_of_success(
+            graph, chip_factory,
+            lambda w, h: AdaptiveRouter(),
+            k_max_values=[20, 150, 400],
+            n_chips=2, runs_per_chip=2, seed=0,
+        )
+        assert pos.executions == 4
+        assert (np.diff(pos.probability) >= 0).all()
+        assert pos.at(400) >= pos.at(20)
+
+    def test_pos_unknown_budget_rejected(self):
+        graph, chip_factory = _quick_setup()
+        pos = probability_of_success(
+            graph, chip_factory, lambda w, h: AdaptiveRouter(),
+            k_max_values=[100], n_chips=1, runs_per_chip=1,
+        )
+        with pytest.raises(KeyError):
+            pos.at(123)
+
+    def test_trial_cycles_reports_statistics(self):
+        graph, chip_factory = _quick_setup()
+        result = trial_cycles(
+            graph, chip_factory, lambda w, h: BaselineRouter(w, h),
+            n_trials=2, target_successes=2, k_max_total=500, seed=0,
+        )
+        assert result.trials == 2
+        assert result.mean_cycles > 0
+        assert result.std_cycles >= 0
+        assert 0 <= result.mean_executions_to_first_failure <= 2
+
+    def test_empty_kmax_rejected(self):
+        graph, chip_factory = _quick_setup()
+        with pytest.raises(ValueError):
+            probability_of_success(graph, chip_factory,
+                                   lambda w, h: AdaptiveRouter(), [])

@@ -1,0 +1,130 @@
+"""Tests for droplet chemistry tracking and bioassay JSON I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bioassay.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.bioassay.library import ALL_BIOASSAYS, covid_rat, serial_dilution
+from repro.bioassay.ops import MO, MOType
+from repro.bioassay.planner import plan
+from repro.bioassay.seqgraph import SequencingGraph
+from repro.biochip.chip import MedaChip
+from repro.biochip.simulator import MedaSimulator
+from repro.core.baseline import AdaptiveRouter
+from repro.core.scheduler import HybridScheduler
+
+W, H = 60, 30
+
+
+def _execute(graph: SequencingGraph, seed: int = 0):
+    placed = plan(graph, W, H)
+    chip = MedaChip.sample(W, H, np.random.default_rng(seed),
+                           tau_range=(0.95, 0.99), c_range=(5000, 9000))
+    scheduler = HybridScheduler(placed, AdaptiveRouter(), W, H)
+    result = MedaSimulator(chip, np.random.default_rng(seed + 1)).run(
+        scheduler, 1200
+    )
+    assert result.success, result.failure_reason
+    return scheduler
+
+
+class TestConcentrationPropagation:
+    def test_serial_dilution_halves_each_stage(self):
+        """Four two-fold dilutions of a neat (1.0) sample end at 1/16."""
+        stages = 4
+        scheduler = _execute(serial_dilution(stages))
+        collected = {name: conc for name, _, conc in scheduler.collected}
+        assert collected["collect"] == pytest.approx(0.5**stages, rel=1e-9)
+
+    def test_dilution_wastes_carry_intermediate_concentrations(self):
+        scheduler = _execute(serial_dilution(3))
+        wastes = [conc for name, _, conc in scheduler.collected
+                  if name.startswith("waste")]
+        # waste_i carries the concentration after i+1 dilutions
+        assert sorted(wastes, reverse=True) == pytest.approx(
+            [0.5, 0.25, 0.125]
+        )
+
+    def test_mix_volume_weighted_average(self):
+        graph = SequencingGraph("g", [
+            MO("a", MOType.DIS, size=(4, 4), concentration=1.0),
+            MO("b", MOType.DIS, size=(4, 4), concentration=0.0),
+            MO("m", MOType.MIX, pre=("a", "b"), hold_cycles=2),
+            MO("o", MOType.OUT, pre=("m",)),
+        ])
+        scheduler = _execute(graph)
+        (name, volume, conc), = scheduler.collected
+        assert name == "o"
+        assert conc == pytest.approx(0.5)
+        assert volume == pytest.approx(32.0)  # both 4x4 inputs conserved
+
+    def test_split_conserves_volume_and_concentration(self):
+        graph = SequencingGraph("g", [
+            MO("a", MOType.DIS, size=(4, 4), concentration=0.8),
+            MO("s", MOType.SPT, pre=("a",), hold_cycles=2),
+            MO("o1", MOType.OUT, pre=("s",), pre_output=(0,)),
+            MO("o2", MOType.OUT, pre=("s",), pre_output=(1,)),
+        ])
+        scheduler = _execute(graph)
+        assert len(scheduler.collected) == 2
+        total_volume = sum(v for _, v, _ in scheduler.collected)
+        assert total_volume == pytest.approx(16.0)
+        for _, _, conc in scheduler.collected:
+            assert conc == pytest.approx(0.8)
+
+    def test_live_droplet_chemistry_query(self):
+        scheduler = _execute(covid_rat())
+        # everything exited; chemistry map is empty again
+        assert not scheduler.droplets
+
+    def test_invalid_concentration_rejected(self):
+        with pytest.raises(ValueError):
+            MO("d", MOType.DIS, size=(4, 4), concentration=1.5)
+
+
+class TestBioassayIO:
+    def test_round_trip_all_bioassays(self):
+        for builder in ALL_BIOASSAYS.values():
+            graph = builder()
+            back = graph_from_dict(graph_to_dict(graph))
+            assert back.name == graph.name
+            assert back.mos == graph.mos
+
+    def test_round_trip_placed_graph(self, tmp_path):
+        graph = plan(covid_rat(), W, H)
+        path = save_graph(graph, tmp_path / "assay.json")
+        back = load_graph(path)
+        assert back.mos == graph.mos
+        assert back.is_placed()
+
+    def test_concentration_serialized(self):
+        data = graph_to_dict(serial_dilution(2))
+        sample = next(m for m in data["mos"] if m["name"] == "sample")
+        assert sample["concentration"] == 1.0
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"mos": []})
+        with pytest.raises(ValueError):
+            graph_from_dict({"name": "x", "mos": [{"name": "a"}]})
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({
+                "name": "x",
+                "mos": [{"name": "a", "type": "teleport"}],
+            })
+
+    def test_structural_validation_applies_on_load(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({
+                "name": "x",
+                "mos": [{"name": "o", "type": "out", "pre": ["ghost"]}],
+            })

@@ -1,0 +1,99 @@
+"""Tests for the MEDA chip state (degradation bookkeeping)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.biochip.chip import MedaChip
+from repro.degradation.faults import FaultInjector, FaultMode
+
+
+class TestConstruction:
+    def test_sampled_chip_dimensions(self, rng):
+        chip = MedaChip.sample(20, 12, rng)
+        assert (chip.width, chip.height) == (20, 12)
+        assert chip.actuations.sum() == 0
+
+    def test_sampled_constants_in_range(self, rng):
+        chip = MedaChip.sample(10, 10, rng, tau_range=(0.6, 0.7),
+                               c_range=(100, 200))
+        assert chip.tau.min() >= 0.6 and chip.tau.max() <= 0.7
+        assert chip.c.min() >= 100 and chip.c.max() <= 200
+
+    def test_invalid_tau_rejected(self):
+        with pytest.raises(ValueError):
+            MedaChip(tau=np.full((4, 4), 1.5), c=np.full((4, 4), 100.0))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MedaChip(tau=np.full((4, 4), 0.8), c=np.full((3, 4), 100.0))
+
+
+class TestDegradation:
+    def test_fresh_chip_fully_healthy(self, rng):
+        chip = MedaChip.sample(8, 8, rng)
+        assert (chip.degradation() == 1.0).all()
+        assert (chip.health() == 3).all()
+        assert (chip.true_force() == 1.0).all()
+
+    def test_actuation_wears_only_actuated_cells(self, rng):
+        chip = MedaChip.sample(8, 8, rng, tau_range=(0.5, 0.6),
+                               c_range=(10, 20))
+        u = np.zeros((8, 8), dtype=int)
+        u[2, 3] = 1
+        for _ in range(30):
+            chip.apply_actuation(u)
+        d = chip.degradation()
+        assert d[2, 3] < 0.5
+        mask = np.ones((8, 8), bool)
+        mask[2, 3] = False
+        assert (d[mask] == 1.0).all()
+
+    def test_force_is_degradation_squared(self, rng):
+        chip = MedaChip.sample(6, 6, rng, tau_range=(0.5, 0.9), c_range=(5, 50))
+        chip.apply_actuation(np.ones((6, 6), dtype=int) * 7)
+        np.testing.assert_allclose(chip.true_force(), chip.degradation() ** 2)
+
+    def test_health_quantizes_degradation(self, rng):
+        chip = MedaChip.sample(6, 6, rng, tau_range=(0.7, 0.8), c_range=(30, 40))
+        chip.apply_actuation(np.full((6, 6), 20, dtype=int))
+        d = chip.degradation()
+        h = chip.health()
+        np.testing.assert_array_equal(h, np.minimum((4 * d).astype(int), 3))
+
+    def test_wrong_actuation_shape_rejected(self, rng):
+        chip = MedaChip.sample(6, 6, rng)
+        with pytest.raises(ValueError):
+            chip.apply_actuation(np.zeros((5, 6), dtype=int))
+
+    def test_total_actuations(self, rng):
+        chip = MedaChip.sample(4, 4, rng)
+        u = np.zeros((4, 4), dtype=int)
+        u[0, 0] = u[1, 1] = 1
+        chip.apply_actuation(u)
+        chip.apply_actuation(u)
+        assert chip.total_actuations == 4
+
+
+class TestFaults:
+    def test_faulty_cell_dies_suddenly(self, rng):
+        plan = FaultInjector(FaultMode.UNIFORM, fraction=1.0,
+                             fail_range=(5, 5)).inject(4, 4, rng)
+        chip = MedaChip(
+            tau=np.full((4, 4), 0.99), c=np.full((4, 4), 1000.0),
+            fault_plan=plan,
+        )
+        u = np.ones((4, 4), dtype=int)
+        for _ in range(4):
+            chip.apply_actuation(u)
+        assert (chip.degradation() > 0.9).all()
+        chip.apply_actuation(u)  # actuation count reaches 5
+        assert (chip.degradation() == 0.0).all()
+        assert (chip.health() == 0).all()
+
+    def test_fault_plan_shape_checked(self, rng):
+        plan = FaultInjector().inject(5, 5, rng)
+        with pytest.raises(ValueError):
+            MedaChip(tau=np.full((4, 4), 0.8), c=np.full((4, 4), 100.0),
+                     fault_plan=plan)

@@ -1,0 +1,122 @@
+"""Tests for the microelectrode-cell designs (Fig. 1, Fig. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.mc_cell import (
+    C_DEGRADED,
+    C_HEALTHY,
+    C_PARTIAL,
+    DFF_CLOCK_SKEW_S,
+    HealthSenseConfig,
+    OriginalCell,
+    ProposedCell,
+    default_proposed_cell,
+    health_capacitance,
+    transistor_states,
+)
+
+
+class TestTransistorStates:
+    def test_charge_phase(self):
+        # ACT=0, ACT_b=1, SEL=1: T1, T2, T4 on; T3 off (Sec. III-B).
+        s = transistor_states(act=0, act_b=1, sel=1)
+        assert (s.t1, s.t2, s.t3, s.t4) == (True, True, False, True)
+
+    def test_discharge_phase(self):
+        # ACT=0, ACT_b=0, SEL=1: T1, T3, T4 on; T2 off.
+        s = transistor_states(act=0, act_b=0, sel=1)
+        assert (s.t1, s.t2, s.t3, s.t4) == (True, False, True, True)
+
+    def test_actuation_disables_sense_path(self):
+        s = transistor_states(act=1, act_b=0, sel=0)
+        assert not any((s.t1, s.t2, s.t3, s.t4))
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            transistor_states(act=2, act_b=0, sel=1)
+
+
+class TestHealthCapacitance:
+    def test_pristine_is_healthy_capacitance(self):
+        assert health_capacitance(1.0) == pytest.approx(C_HEALTHY)
+
+    def test_dead_is_degraded_capacitance(self):
+        assert health_capacitance(0.0) == pytest.approx(C_DEGRADED)
+
+    def test_midpoint_is_partial(self):
+        assert health_capacitance(0.5) == pytest.approx(C_PARTIAL)
+
+    def test_monotone_decreasing_in_health(self):
+        assert health_capacitance(0.9) < health_capacitance(0.2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            health_capacitance(1.5)
+
+
+class TestCalibratedTiming:
+    def test_fig2_codes(self):
+        """The calibrated circuit resolves Table I's three classes into the
+        Fig. 2 codes: healthy '11', partially degraded '01', dead '00'."""
+        cfg = HealthSenseConfig.calibrated()
+        assert cfg.sample_bits(C_HEALTHY) == (1, 1)
+        assert cfg.sample_bits(C_PARTIAL) == (0, 1)
+        assert cfg.sample_bits(C_DEGRADED) == (0, 0)
+
+    def test_class_crossings_separated_by_one_skew(self):
+        cfg = HealthSenseConfig.calibrated()
+        t_h = cfg.crossing_time(C_HEALTHY)
+        t_p = cfg.crossing_time(C_PARTIAL)
+        t_d = cfg.crossing_time(C_DEGRADED)
+        assert t_p - t_h == pytest.approx(DFF_CLOCK_SKEW_S, rel=1e-9)
+        assert t_d - t_p == pytest.approx(DFF_CLOCK_SKEW_S, rel=1e-9)
+
+    def test_skew_is_five_nanoseconds(self):
+        # Fig. 2: the added DFF's clock edge arrives 5 ns after the original.
+        assert DFF_CLOCK_SKEW_S == 5e-9
+
+    def test_bad_calibration_rejected(self):
+        with pytest.raises(ValueError):
+            HealthSenseConfig.calibrated(c_healthy=C_PARTIAL, c_partial=C_HEALTHY)
+
+
+class TestProposedCell:
+    def test_health_codes_over_degradation_range(self):
+        cell = default_proposed_cell()
+        assert cell.sense_health(1.0) == (1, 1)
+        assert cell.sense_health(0.5) == (0, 1)
+        assert cell.sense_health(0.0) == (0, 0)
+
+    def test_health_level_integers(self):
+        cell = default_proposed_cell()
+        assert cell.health_level(1.0) == 3
+        assert cell.health_level(0.5) == 1
+        assert cell.health_level(0.0) == 0
+
+    def test_code_10_never_produced(self):
+        # The charging waveform is monotone, so the original DFF can never
+        # latch 1 while the (later-clocked) added DFF latches 0.
+        cell = default_proposed_cell()
+        for d in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
+            assert cell.sense_health(d) != (1, 0)
+
+
+class TestOriginalCell:
+    def test_detects_droplet(self):
+        cell = OriginalCell(HealthSenseConfig.calibrated())
+        assert cell.sense_droplet(droplet_present=True) == 1
+
+    def test_no_false_positive_without_droplet(self):
+        cell = OriginalCell(HealthSenseConfig.calibrated())
+        assert cell.sense_droplet(droplet_present=False) == 0
+
+    def test_degradation_does_not_fake_droplet(self):
+        # Attofarad-scale degradation shifts must not trip the droplet edge.
+        cell = OriginalCell(HealthSenseConfig.calibrated())
+        assert cell.sense_droplet(droplet_present=False, degradation=0.0) == 0
+
+    def test_detects_droplet_on_degraded_cell(self):
+        cell = OriginalCell(HealthSenseConfig.calibrated())
+        assert cell.sense_droplet(droplet_present=True, degradation=0.2) == 1

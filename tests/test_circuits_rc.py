@@ -1,0 +1,120 @@
+"""Tests for the RC transient models (the HSPICE substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.rc import (
+    RCPath,
+    capacitance_from_charging_time,
+    parallel_plate_capacitance,
+)
+
+
+class TestRCPath:
+    def test_time_constant(self):
+        path = RCPath(resistance=1e6, capacitance=4e-12, v_supply=200.0)
+        assert path.time_constant == pytest.approx(4e-6)
+
+    def test_charge_starts_at_initial_voltage(self):
+        path = RCPath(1e6, 4e-12, 200.0, v_initial=10.0)
+        assert path.charge_voltage(0.0) == pytest.approx(10.0)
+
+    def test_charge_approaches_supply(self):
+        path = RCPath(1e6, 4e-12, 200.0)
+        assert path.charge_voltage(100 * path.time_constant) == pytest.approx(200.0)
+
+    def test_one_time_constant_63_percent(self):
+        path = RCPath(1e6, 4e-12, 200.0)
+        v = path.charge_voltage(path.time_constant)
+        assert v == pytest.approx(200.0 * (1 - np.exp(-1)))
+
+    def test_discharge_from_supply(self):
+        path = RCPath(1e6, 4e-12, 200.0)
+        assert path.discharge_voltage(0.0) == pytest.approx(200.0)
+        assert path.discharge_voltage(path.time_constant) == pytest.approx(
+            200.0 * np.exp(-1)
+        )
+
+    def test_charging_time_closed_form(self):
+        path = RCPath(1e6, 4e-12, 200.0)
+        t_star = path.charging_time(126.42)
+        assert path.charge_voltage(t_star) == pytest.approx(126.42)
+
+    def test_charging_time_unreachable_threshold(self):
+        path = RCPath(1e6, 4e-12, 200.0)
+        assert path.charging_time(200.0) == float("inf")
+
+    def test_charging_time_already_reached(self):
+        path = RCPath(1e6, 4e-12, 200.0, v_initial=50.0)
+        assert path.charging_time(40.0) == 0.0
+
+    def test_residual_charge_shortens_charging_time(self):
+        clean = RCPath(1e6, 4e-12, 200.0)
+        charged = RCPath(1e6, 4e-12, 200.0, v_initial=50.0)
+        assert charged.charging_time(150.0) < clean.charging_time(150.0)
+
+    def test_discharging_time_closed_form(self):
+        path = RCPath(1e6, 4e-12, 200.0)
+        t = path.discharging_time(73.58)
+        assert path.discharge_voltage(t) == pytest.approx(73.58)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RCPath(0.0, 4e-12, 200.0)
+        with pytest.raises(ValueError):
+            RCPath(1e6, -1e-12, 200.0)
+        with pytest.raises(ValueError):
+            RCPath(1e6, 4e-12, 200.0, v_initial=250.0)
+
+    def test_vectorized_charge(self):
+        path = RCPath(1e6, 4e-12, 200.0)
+        t = np.array([0.0, 1e-6, 1e-5])
+        v = path.charge_voltage(t)
+        assert v.shape == (3,)
+        assert np.all(np.diff(v) > 0)
+
+    @given(
+        st.floats(1e3, 1e9),
+        st.floats(1e-15, 1e-9),
+        st.floats(1.0, 500.0),
+    )
+    def test_charging_time_monotone_in_capacitance(self, r, c, v):
+        path_small = RCPath(r, c, v)
+        path_large = RCPath(r, 2 * c, v)
+        threshold = 0.5 * v
+        assert path_small.charging_time(threshold) < path_large.charging_time(
+            threshold
+        )
+
+
+class TestCapacitanceInversion:
+    def test_round_trip(self):
+        c_true = 4.2e-12
+        path = RCPath(1e6, c_true, 200.0)
+        t = path.charging_time(126.42)
+        recovered = capacitance_from_charging_time(t, 1e6, 200.0, 126.42)
+        assert recovered == pytest.approx(c_true, rel=1e-12)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            capacitance_from_charging_time(1e-6, 1e6, 200.0, 250.0)
+
+    def test_bad_time_rejected(self):
+        with pytest.raises(ValueError):
+            capacitance_from_charging_time(0.0, 1e6, 200.0, 100.0)
+
+
+class TestParallelPlate:
+    def test_table1_healthy_capacitance(self):
+        # Table I: 50x50 um² electrode, silicon-oil permittivity 19e-12 F/m,
+        # C_o = 2.375 fF -> implied gap of 20 um.
+        c = parallel_plate_capacitance(50e-6 * 50e-6, 19e-12, 20e-6)
+        assert c == pytest.approx(2.375e-15, rel=1e-9)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_plate_capacitance(0.0, 19e-12, 20e-6)

@@ -1,0 +1,118 @@
+"""Tests for the scan chain, multi-edge health sensing and the op cycle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.sensing import (
+    MultiEdgeSenseConfig,
+    OperationalCycle,
+    ScanChain,
+    multi_edge_health,
+)
+from repro.degradation.model import quantize_health
+
+
+class TestScanChain:
+    def test_load_round_trip(self):
+        chain = ScanChain(8)
+        pattern = [1, 0, 1, 1, 0, 0, 1, 0]
+        chain.load(pattern)
+        assert chain.snapshot() == pattern
+
+    def test_second_load_shifts_out_first(self):
+        chain = ScanChain(4)
+        chain.load([1, 1, 0, 0])
+        out = chain.load([0, 0, 0, 0])
+        assert out == [1, 1, 0, 0]
+
+    def test_shift_count_tracks_latency(self):
+        chain = ScanChain(16)
+        chain.load([0] * 16)
+        assert chain.shift_count == 16
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            ScanChain(4).load([1, 0])
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ValueError):
+            ScanChain(4).shift_in(2)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            ScanChain(0)
+
+
+class TestMultiEdgeSensing:
+    def test_two_bit_edges_count(self):
+        cfg = MultiEdgeSenseConfig(bits=2)
+        assert len(cfg.edge_times()) == 3
+
+    def test_edges_monotone(self):
+        # Higher D charges faster, so bucket-boundary crossing times grow
+        # with the bucket index k (edge k sits at D = k / 2^b).
+        cfg = MultiEdgeSenseConfig(bits=3)
+        edges = cfg.edge_times()
+        assert all(a > b for a, b in zip(edges, edges[1:]))
+
+    def test_sense_boundaries(self):
+        cfg = MultiEdgeSenseConfig(bits=2)
+        assert cfg.sense(1.0) == 3
+        assert cfg.sense(0.0) == 0
+
+    @given(st.floats(0.0, 1.0), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_circuit_matches_quantization(self, d: float, bits: int):
+        """The staggered-edge circuit reproduces H = floor(2^b D) exactly
+        (up to floating-point at bucket boundaries)."""
+        cfg = MultiEdgeSenseConfig(bits=bits)
+        circuit = cfg.sense(d)
+        model = quantize_health(d, bits=bits)
+        assert abs(circuit - model) <= (1 if _near_boundary(d, bits) else 0)
+
+    def test_matrix_health(self):
+        d = np.array([[1.0, 0.6], [0.3, 0.0]])
+        h = multi_edge_health(d, bits=2)
+        assert h.tolist() == [[3, 2], [1, 0]]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            MultiEdgeSenseConfig(bits=2).sense(1.2)
+
+    def test_bits_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            multi_edge_health(np.zeros((2, 2)), bits=3,
+                              config=MultiEdgeSenseConfig(bits=2))
+
+
+def _near_boundary(d: float, bits: int, tol: float = 1e-9) -> bool:
+    scaled = d * (1 << bits)
+    return abs(scaled - round(scaled)) < tol
+
+
+class TestOperationalCycle:
+    def test_cycle_produces_health_and_droplet_maps(self):
+        cycle = OperationalCycle(width=4, height=3)
+        actuation = np.zeros((4, 3))
+        degradation = np.ones((4, 3))
+        occupancy = np.zeros((4, 3), dtype=bool)
+        occupancy[1, 1] = True
+        y, h = cycle.run(actuation, degradation, occupancy)
+        assert y[1, 1] == 1 and y.sum() == 1
+        assert (h == 3).all()
+        assert cycle.cycles_run == 1
+
+    def test_shape_mismatch_rejected(self):
+        cycle = OperationalCycle(width=4, height=3)
+        with pytest.raises(ValueError):
+            cycle.run(np.zeros((3, 4)), np.ones((4, 3)), np.zeros((4, 3), bool))
+
+    def test_scan_latency_two_full_loads_per_cycle(self):
+        cycle = OperationalCycle(width=4, height=3)
+        z = np.zeros((4, 3))
+        cycle.run(z, np.ones((4, 3)), np.zeros((4, 3), bool))
+        assert cycle._chain.shift_count == 2 * 4 * 3

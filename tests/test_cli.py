@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.bioassay == "covid-rat"
+        assert args.router == "adaptive"
+
+    def test_synth_coordinates(self):
+        args = build_parser().parse_args(
+            ["synth", "--start", "2", "3", "--goal", "10", "12"]
+        )
+        assert args.start == [2, 3]
+        assert args.goal == [10, 12]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "covid-rat" in out and "serial-dilution" in out
+        assert "evaluation" in out and "pattern-study" in out
+
+    def test_run_unknown_bioassay(self, capsys):
+        assert main(["run", "--bioassay", "ghost"]) == 2
+        assert "unknown bioassay" in capsys.readouterr().err
+
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "--bioassay", "master-mix", "--width", "40",
+            "--height", "24", "--seed", "3", "--max-cycles", "400",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "run 1: ok" in out
+
+    def test_run_baseline_with_wear(self, capsys):
+        code = main([
+            "run", "--bioassay", "covid-rat", "--router", "baseline",
+            "--width", "40", "--height", "24", "--show-wear",
+            "--max-cycles", "400",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chip wear" in out
+
+    def test_synth_prints_route(self, capsys):
+        code = main(["synth", "--width", "24", "--height", "14",
+                     "--goal", "18", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "E[cycles]" in out
+        assert "S" in out and "G" in out
+
+    def test_synth_unreachable(self, capsys):
+        # kill almost everything: goal becomes unreachable
+        code = main([
+            "synth", "--width", "24", "--height", "14", "--goal", "18", "8",
+            "--dead-fraction", "0.97", "--seed", "5",
+        ])
+        assert code == 1
+        assert "no strategy" in capsys.readouterr().out
+
+    def test_degradation_table(self, capsys):
+        assert main(["degradation", "--tau", "0.7", "--c", "300",
+                     "--n-max", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "D(n)" in out and "H(n)" in out

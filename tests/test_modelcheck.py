@@ -1,0 +1,267 @@
+"""Tests for the explicit-state model checker (the PRISM-games substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modelcheck.compiled import (
+    compile_mdp,
+    solve_prob1e,
+    solve_reach_avoid_probability,
+    solve_reach_avoid_reward,
+)
+from repro.modelcheck.model import MDP, Choice
+from repro.modelcheck.properties import (
+    Objective,
+    probability_query,
+    reward_query,
+)
+from repro.modelcheck.reachability import (
+    prob1e,
+    reach_avoid_probability,
+    reachable_states,
+)
+from repro.modelcheck.rewards import reach_avoid_reward
+from repro.modelcheck.strategy import extract_strategy
+
+
+def chain_mdp(p: float = 1.0) -> MDP:
+    """s0 -> s1 -> goal with per-step success probability p (else stay)."""
+    mdp = MDP()
+    mdp.set_initial("s0")
+    for src, dst in (("s0", "s1"), ("s1", "goal")):
+        if p < 1.0:
+            mdp.add_choice(src, "step", [(dst, p), (src, 1 - p)], reward=1.0)
+        else:
+            mdp.add_choice(src, "step", [(dst, 1.0)], reward=1.0)
+    mdp.add_label("goal", "goal")
+    return mdp
+
+
+def risky_mdp() -> MDP:
+    """A choice between a risky shortcut and a safe detour.
+
+    s0 --shortcut--> goal (0.5) / trap (0.5)      reward 1
+    s0 --detour----> a --> b --> goal (certain)   reward 3 total
+    """
+    mdp = MDP()
+    mdp.set_initial("s0")
+    mdp.add_choice("s0", "shortcut", [("goal", 0.5), ("trap", 0.5)], reward=1.0)
+    mdp.add_choice("s0", "detour", [("a", 1.0)], reward=1.0)
+    mdp.add_choice("a", "step", [("b", 1.0)], reward=1.0)
+    mdp.add_choice("b", "step", [("goal", 1.0)], reward=1.0)
+    mdp.add_label("goal", "goal")
+    mdp.add_label("hazard", "trap")
+    return mdp
+
+
+class TestModel:
+    def test_choice_distribution_validated(self):
+        with pytest.raises(ValueError):
+            Choice("a", ((0, 0.5), (1, 0.4)))
+
+    def test_choice_rejects_nonpositive_probability(self):
+        with pytest.raises(ValueError):
+            Choice("a", ((0, 1.5), (1, -0.5)))
+
+    def test_choice_rejects_negative_reward(self):
+        with pytest.raises(ValueError):
+            Choice("a", ((0, 1.0),), reward=-1.0)
+
+    def test_stats(self):
+        mdp = risky_mdp()
+        assert mdp.num_states == 5
+        assert mdp.num_choices == 4
+        assert mdp.num_transitions == 5
+
+    def test_absorbing_detection(self):
+        mdp = chain_mdp()
+        assert mdp.is_absorbing(mdp.state_index["goal"])
+        assert not mdp.is_absorbing(mdp.state_index["s0"])
+
+    def test_validate_requires_initial(self):
+        mdp = MDP()
+        mdp.add_choice("a", "x", [("a", 1.0)])
+        with pytest.raises(ValueError):
+            mdp.validate()
+
+    def test_reachable_states(self):
+        mdp = risky_mdp()
+        assert reachable_states(mdp) == set(range(5))
+
+
+class TestQueries:
+    def test_query_strings(self):
+        assert str(probability_query()) == "Pmax=? [ [] (!hazard) && <> goal ]"
+        assert str(reward_query()) == "Rmin=? [ [] (!hazard) && <> goal ]"
+
+    def test_objectives(self):
+        assert probability_query().objective is Objective.PMAX
+        assert reward_query().objective is Objective.RMIN
+
+
+class TestReachability:
+    def test_certain_chain(self):
+        mdp = chain_mdp(1.0)
+        res = reach_avoid_probability(mdp)
+        assert res.values[mdp.initial] == pytest.approx(1.0)
+
+    def test_retry_chain_reaches_almost_surely(self):
+        mdp = chain_mdp(0.5)
+        res = reach_avoid_probability(mdp, epsilon=1e-12)
+        assert res.values[mdp.initial] == pytest.approx(1.0, abs=1e-6)
+
+    def test_pmax_picks_safe_route(self):
+        mdp = risky_mdp()
+        res = reach_avoid_probability(mdp)
+        assert res.values[mdp.initial] == pytest.approx(1.0)
+        strategy = extract_strategy(mdp, res)
+        assert strategy.action("s0") == "detour"
+
+    def test_pmin_takes_worst_choice(self):
+        mdp = risky_mdp()
+        res = reach_avoid_probability(mdp, maximize=False)
+        assert res.values[mdp.initial] == pytest.approx(0.5)
+
+    def test_hazard_states_have_value_zero(self):
+        mdp = risky_mdp()
+        res = reach_avoid_probability(mdp)
+        assert res.values[mdp.state_index["trap"]] == 0.0
+
+    def test_overlapping_labels_rejected(self):
+        mdp = chain_mdp()
+        mdp.add_label("hazard", "goal")
+        with pytest.raises(ValueError):
+            reach_avoid_probability(mdp)
+
+
+class TestProb1E:
+    def test_chain_all_sure(self):
+        mdp = chain_mdp(0.3)
+        sure = prob1e(mdp)
+        assert sure == {0, 1, 2}
+
+    def test_trap_not_sure(self):
+        mdp = risky_mdp()
+        sure = prob1e(mdp)
+        assert mdp.state_index["trap"] not in sure
+        assert mdp.state_index["s0"] in sure  # via the detour
+
+    def test_doomed_state_excluded(self):
+        mdp = MDP()
+        mdp.set_initial("s0")
+        mdp.add_choice("s0", "gamble", [("goal", 0.5), ("dead", 0.5)])
+        mdp.add_label("goal", "goal")
+        sure = prob1e(mdp)
+        assert mdp.state_index["s0"] not in sure
+
+
+class TestRewards:
+    def test_certain_chain_cost(self):
+        mdp = chain_mdp(1.0)
+        res = reach_avoid_reward(mdp)
+        assert res.values[mdp.initial] == pytest.approx(2.0)
+
+    def test_retry_chain_expected_cost(self):
+        # Two geometric(p) steps: E[cost] = 2 / p.
+        mdp = chain_mdp(0.4)
+        res = reach_avoid_reward(mdp, epsilon=1e-10)
+        assert res.values[mdp.initial] == pytest.approx(5.0, abs=1e-6)
+
+    def test_rmin_avoids_risky_shortcut(self):
+        # The shortcut risks the trap; Rmin's prob1e restriction forces the
+        # detour despite its higher cost.
+        mdp = risky_mdp()
+        res = reach_avoid_reward(mdp)
+        assert res.values[mdp.initial] == pytest.approx(3.0)
+        strategy = extract_strategy(mdp, res)
+        assert strategy.action("s0") == "detour"
+
+    def test_unreachable_goal_is_infinite(self):
+        mdp = MDP()
+        mdp.set_initial("s0")
+        mdp.add_choice("s0", "loop", [("s0", 1.0)], reward=1.0)
+        mdp.add_label("goal", "island")
+        res = reach_avoid_reward(mdp)
+        assert res.values[mdp.initial] == float("inf")
+
+
+def random_mdp(seed: int) -> MDP:
+    """A random MDP with goal/hazard labels for differential testing."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 12))
+    mdp = MDP()
+    mdp.set_initial(0)
+    goal = int(rng.integers(0, n))
+    hazard = int(rng.integers(0, n))
+    for s in range(n):
+        if s in (goal, hazard):
+            continue
+        for c in range(int(rng.integers(1, 4))):
+            succs = rng.choice(n, size=int(rng.integers(1, 4)), replace=False)
+            probs = rng.dirichlet(np.ones(len(succs)))
+            mdp.add_choice(
+                s,
+                f"a{c}",
+                [(int(t), float(p)) for t, p in zip(succs, probs)],
+                reward=float(rng.uniform(0.5, 2.0)),
+            )
+    mdp.add_label("goal", goal)
+    if hazard != goal:
+        mdp.add_label("hazard", hazard)
+    return mdp
+
+
+class TestCompiledAgainstReference:
+    """The vectorized solvers must agree with the pure-Python reference."""
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_pmax_agreement(self, seed: int):
+        mdp = random_mdp(seed)
+        ref = reach_avoid_probability(mdp, epsilon=1e-10)
+        cm = compile_mdp(mdp)
+        vec = solve_reach_avoid_probability(cm, epsilon=1e-10)
+        np.testing.assert_allclose(vec.values, ref.values, atol=1e-6)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_pmin_agreement(self, seed: int):
+        mdp = random_mdp(seed)
+        ref = reach_avoid_probability(mdp, maximize=False, epsilon=1e-10)
+        cm = compile_mdp(mdp)
+        vec = solve_reach_avoid_probability(cm, maximize=False, epsilon=1e-10)
+        np.testing.assert_allclose(vec.values, ref.values, atol=1e-6)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_prob1e_agreement(self, seed: int):
+        mdp = random_mdp(seed)
+        ref = prob1e(mdp)
+        cm = compile_mdp(mdp)
+        vec = solve_prob1e(cm)
+        assert set(np.flatnonzero(vec)) == ref
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_rmin_agreement(self, seed: int):
+        mdp = random_mdp(seed)
+        ref = reach_avoid_reward(mdp, epsilon=1e-10)
+        cm = compile_mdp(mdp)
+        vec = solve_reach_avoid_reward(cm, epsilon=1e-10)
+        finite = np.isfinite(ref.values)
+        assert (np.isfinite(vec.values) == finite).all()
+        np.testing.assert_allclose(
+            vec.values[finite], ref.values[finite], atol=1e-5
+        )
+
+    def test_strategy_extraction_matches_choice_semantics(self):
+        mdp = risky_mdp()
+        cm = compile_mdp(mdp)
+        res = solve_reach_avoid_reward(cm)
+        strategy = extract_strategy(mdp, res)
+        assert strategy.action("s0") == "detour"
+        assert strategy.initial_value == pytest.approx(3.0)

@@ -1,0 +1,66 @@
+"""Tests for offline strategy-library pre-population (Sec. VI-D)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bioassay.library import covid_rat, master_mix
+from repro.bioassay.planner import plan
+from repro.biochip.chip import MedaChip
+from repro.biochip.simulator import MedaSimulator
+from repro.core.baseline import AdaptiveRouter
+from repro.core.offline import precompute_library, routing_jobs_of
+from repro.core.scheduler import HybridScheduler
+
+W, H = 40, 24
+
+
+class TestRoutingJobsOf:
+    def test_counts_match_decomposition(self):
+        graph = plan(covid_rat(), W, H)
+        jobs = routing_jobs_of(graph, W, H)
+        # covid-rat: mix (2 jobs) + mag (1) + out (1); dispenses excluded.
+        assert len(jobs) == 4
+
+    def test_unplaced_graph_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            routing_jobs_of(covid_rat(), W, H)
+
+
+class TestPrecompute:
+    def test_report_counts(self):
+        graph = plan(master_mix(), W, H)
+        router = AdaptiveRouter()
+        report = precompute_library(graph, router, W, H)
+        assert report.jobs == report.synthesized + report.skipped_trivial
+        assert report.synthesized == len(router.library)
+        assert report.seconds > 0
+
+    def test_warm_library_reduces_online_synthesis(self):
+        graph = plan(master_mix(), W, H)
+        chip_rng = np.random.default_rng(0)
+
+        def execute(router: AdaptiveRouter) -> int:
+            chip = MedaChip.sample(W, H, chip_rng.spawn(1)[0],
+                                   tau_range=(0.95, 0.99),
+                                   c_range=(5000, 9000))
+            scheduler = HybridScheduler(graph, router, W, H)
+            result = MedaSimulator(chip, np.random.default_rng(1)).run(
+                scheduler, 400
+            )
+            assert result.success
+            return router.syntheses
+
+        cold = AdaptiveRouter()
+        cold_syntheses = execute(cold)
+
+        warm = AdaptiveRouter()
+        report = precompute_library(graph, warm, W, H)
+        before = warm.syntheses
+        online = execute(warm) - before
+        # The offline stage absorbs at least part (usually all) of the
+        # first execution's synthesis work.
+        assert report.synthesized > 0
+        assert online < cold_syntheses

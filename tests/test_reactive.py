@@ -1,0 +1,98 @@
+"""Tests for the reactive error-recovery router and the stall-recovery hook."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bioassay.ops import MO, MOType
+from repro.bioassay.seqgraph import SequencingGraph
+from repro.biochip.chip import MedaChip
+from repro.biochip.simulator import MedaSimulator
+from repro.core.baseline import BaselineRouter, ReactiveRouter
+from repro.core.routing_job import RoutingJob
+from repro.core.scheduler import HybridScheduler
+from repro.degradation.faults import FaultPlan
+from repro.geometry.rect import Rect
+
+W, H = 40, 24
+
+
+def dead_band_chip() -> MedaChip:
+    """A chip whose mid-section dies instantly except a northern gap."""
+    faulty = np.zeros((W, H), dtype=bool)
+    faulty[18:22, 1:18] = True  # dead band, gap at y = 19..24
+    fail_at = np.full((W, H), np.inf)
+    fail_at[faulty] = 0
+    return MedaChip(
+        tau=np.full((W, H), 0.99), c=np.full((W, H), 9000.0),
+        fault_plan=FaultPlan(faulty=faulty, fail_at=fail_at),
+    )
+
+
+def crossing_graph() -> SequencingGraph:
+    return SequencingGraph("g", [
+        MO("d", MOType.DIS, size=(4, 4), locs=((8.5, 8.5),)),
+        MO("m", MOType.MAG, pre=("d",), locs=((32.5, 8.5),), hold_cycles=2),
+        MO("o", MOType.OUT, pre=("m",), locs=((37.5, 8.5),)),
+    ])
+
+
+class TestReactiveRouter:
+    def test_plans_like_baseline(self):
+        reactive = ReactiveRouter(W, H)
+        baseline = BaselineRouter(W, H)
+        job = RoutingJob(Rect(2, 2, 5, 5), Rect(20, 10, 23, 13),
+                         Rect(1, 1, 26, 16))
+        health = np.full((W, H), 3)
+        s_r = reactive.plan(job, health)
+        s_b = baseline.plan(job, health)
+        assert s_r.expected_cycles == pytest.approx(s_b.expected_cycles)
+
+    def test_recover_uses_health(self):
+        reactive = ReactiveRouter(W, H)
+        health = np.full((W, H), 3)
+        health[10, :] = 0  # wall with no gap inside the zone
+        job = RoutingJob(Rect(2, 2, 5, 5), Rect(20, 4, 23, 7),
+                         Rect(1, 1, 26, 10))
+        assert reactive.plan(job, health) is not None  # blind baseline plan
+        assert reactive.recover(job, health) is None   # recovery sees the wall
+        assert reactive.recoveries == 1
+
+    def test_not_adaptive(self):
+        assert ReactiveRouter(W, H).adaptive is False
+        assert ReactiveRouter(W, H).reactive is True
+
+
+class TestStallRecovery:
+    def test_baseline_stalls_reactive_recovers(self):
+        """On a dead band with a detour, the pure baseline spins to the
+        cycle cap while the reactive router reroutes after the stall."""
+        graph = crossing_graph()
+
+        base_sched = HybridScheduler(graph, BaselineRouter(W, H), W, H)
+        base_result = MedaSimulator(
+            dead_band_chip(), np.random.default_rng(1)
+        ).run(base_sched, 400)
+        assert not base_result.success
+        assert base_result.failure == "max-cycles"
+
+        reactive = ReactiveRouter(W, H)
+        re_sched = HybridScheduler(graph, reactive, W, H,
+                                   stall_recovery_threshold=8)
+        re_result = MedaSimulator(
+            dead_band_chip(), np.random.default_rng(1)
+        ).run(re_sched, 400)
+        assert re_result.success, re_result.failure_reason
+        assert re_sched.recoveries >= 1
+        assert reactive.recoveries >= 1
+        assert any(e.kind == "recovered" for e in re_sched.events)
+
+    def test_recovery_not_triggered_on_healthy_chip(self):
+        chip = MedaChip.sample(W, H, np.random.default_rng(5),
+                               tau_range=(0.95, 0.99), c_range=(5000, 9000))
+        reactive = ReactiveRouter(W, H)
+        sched = HybridScheduler(crossing_graph(), reactive, W, H)
+        result = MedaSimulator(chip, np.random.default_rng(6)).run(sched, 400)
+        assert result.success
+        assert sched.recoveries == 0

@@ -1,0 +1,93 @@
+"""Tests for the ASCII rendering helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.render import (
+    render_actuation,
+    render_degradation,
+    render_health,
+    render_route,
+)
+from repro.core.routing_job import RoutingJob
+from repro.core.strategy import strategy_from_synthesis
+from repro.core.synthesis import synthesize
+from repro.geometry.rect import Rect
+
+
+class TestHealthMap:
+    def test_dimensions(self):
+        health = np.full((6, 4), 3)
+        out = render_health(health)
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == 6 for line in lines)
+
+    def test_dead_cells_marked(self):
+        health = np.full((4, 4), 3)
+        health[1, 2] = 0
+        out = render_health(health)
+        assert "#" in out
+        assert out.count("#") == 1
+
+    def test_y_axis_points_north(self):
+        health = np.full((3, 3), 3)
+        health[0, 2] = 0  # cell (1, 3): top-left of the printout
+        out = render_health(health)
+        assert out.splitlines()[0][0] == "#"
+
+    def test_droplet_overlay(self):
+        health = np.full((6, 6), 3)
+        out = render_health(health, droplets={0: Rect(2, 2, 3, 3)})
+        assert out.count("A") == 4
+
+    def test_droplet_letters_cycle(self):
+        health = np.full((8, 4), 3)
+        out = render_health(
+            health, droplets={0: Rect(1, 1, 1, 1), 1: Rect(5, 1, 5, 1)}
+        )
+        assert "A" in out and "B" in out
+
+
+class TestRoute:
+    def test_route_reaches_goal(self):
+        job = RoutingJob(Rect(2, 2, 4, 4), Rect(10, 8, 12, 10), Rect(1, 1, 14, 12))
+        health = np.full((16, 14), 3)
+        result = synthesize(job, health)
+        strategy = strategy_from_synthesis(job, result)
+        out = render_route(strategy, health)
+        assert "S" in out and "G" in out and "o" in out
+
+    def test_dead_cells_shown(self):
+        job = RoutingJob(Rect(2, 2, 4, 4), Rect(10, 8, 12, 10), Rect(1, 1, 14, 12))
+        health = np.full((16, 14), 3)
+        health[14, 12] = 0  # outside the route, stays visible
+        result = synthesize(job, health)
+        strategy = strategy_from_synthesis(job, result)
+        assert "#" in render_route(strategy, health)
+
+
+class TestActuation:
+    def test_stars_match_matrix(self):
+        u = np.zeros((5, 3), dtype=int)
+        u[1, 1] = 1
+        u[4, 2] = 1
+        out = render_actuation(u)
+        assert out.count("*") == 2
+
+
+class TestDegradation:
+    def test_pristine_renders_light(self):
+        out = render_degradation(np.ones((4, 4)))
+        assert set(out.replace("\n", "")) == {" "}
+
+    def test_dead_renders_dense(self):
+        out = render_degradation(np.zeros((4, 4)))
+        assert set(out.replace("\n", "")) == {"#"}
+
+    def test_custom_buckets_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            render_degradation(np.ones((2, 2)), buckets="")

@@ -1,0 +1,189 @@
+"""Tests for routing jobs and the MO-to-RJ helper (Algorithm 1, Table IV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bioassay.ops import MO, MOType
+from repro.core.droplet import OFF_CHIP
+from repro.core.routing_job import RJHelper, RoutingJob, zone
+from repro.geometry.rect import Rect
+
+W, H = 60, 30
+
+
+def fig12_mos() -> list[MO]:
+    """The Fig. 12 / Table IV example: two dispenses, a mix, a mag."""
+    return [
+        MO("M1", MOType.DIS, locs=((17.5, 2.5),), size=(4, 4)),
+        MO("M2", MOType.DIS, locs=((17.5, 28.5),), size=(4, 4)),
+        MO("M3", MOType.MIX, pre=("M1", "M2"), locs=((10.5, 15.5),)),
+        MO("M4", MOType.MAG, pre=("M3",), locs=((40.5, 15.5),)),
+    ]
+
+
+class TestRoutingJob:
+    def test_valid_job(self):
+        job = RoutingJob(Rect(3, 3, 6, 6), Rect(10, 10, 13, 13), Rect(1, 1, 16, 16))
+        assert not job.is_dispense
+
+    def test_dispense_job(self):
+        job = RoutingJob(OFF_CHIP, Rect(16, 1, 19, 4), Rect(13, 1, 22, 7))
+        assert job.is_dispense
+
+    def test_goal_outside_hazard_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingJob(Rect(3, 3, 6, 6), Rect(20, 20, 23, 23), Rect(1, 1, 16, 16))
+
+    def test_start_outside_hazard_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingJob(Rect(20, 20, 23, 23), Rect(3, 3, 6, 6), Rect(1, 1, 16, 16))
+
+    def test_obstacle_blocking(self):
+        job = RoutingJob(
+            Rect(3, 3, 6, 6), Rect(10, 10, 13, 13), Rect(1, 1, 16, 16),
+            obstacles=(Rect(8, 3, 9, 4),),
+        )
+        assert job.blocked(Rect(5, 3, 8, 6).translated(1, 0))  # touches obstacle
+        assert not job.blocked(Rect(3, 10, 6, 13))
+
+    def test_key_distinguishes_obstacles(self):
+        base = RoutingJob(Rect(3, 3, 6, 6), Rect(10, 10, 13, 13), Rect(1, 1, 16, 16))
+        with_obs = base.with_obstacles((Rect(8, 8, 9, 9),))
+        assert base.key() != with_obs.key()
+
+
+class TestZone:
+    """Table IV hazard bounds: bbox(start, goal) + 3, clipped to the chip."""
+
+    def test_m1_dispense_zone(self):
+        assert zone(OFF_CHIP, Rect(16, 1, 19, 4), W, H) == Rect(13, 1, 22, 7)
+
+    def test_m2_dispense_zone(self):
+        assert zone(OFF_CHIP, Rect(16, 27, 19, 30), W, H) == Rect(13, 24, 22, 30)
+
+    def test_rj30_zone(self):
+        assert zone(Rect(16, 1, 19, 4), Rect(9, 14, 12, 17), W, H) == Rect(6, 1, 22, 20)
+
+    def test_rj31_zone(self):
+        assert zone(Rect(16, 27, 19, 30), Rect(9, 14, 12, 17), W, H) == Rect(6, 11, 22, 30)
+
+    def test_m4_zone(self):
+        assert zone(Rect(8, 14, 13, 18), Rect(38, 14, 43, 18), W, H) == Rect(5, 11, 46, 21)
+
+    def test_clipped_to_chip(self):
+        z = zone(Rect(58, 28, 59, 29), Rect(55, 25, 56, 26), W, H)
+        assert z.xb <= W and z.yb <= H
+
+
+class TestRJHelperTable4:
+    """Reproduce Table IV end to end through Algorithm 1."""
+
+    def setup_method(self):
+        self.helper = RJHelper(W, H)
+        self.decomposed = {mo.name: self.helper.decompose(mo) for mo in fig12_mos()}
+
+    def test_m1_dispense(self):
+        d = self.decomposed["M1"]
+        (job,) = d.jobs
+        assert job.start == OFF_CHIP
+        assert job.goal == Rect(16, 1, 19, 4)
+        assert job.hazard == Rect(13, 1, 22, 7)
+        assert d.output_patterns == (Rect(16, 1, 19, 4),)
+
+    def test_m2_dispense(self):
+        (job,) = self.decomposed["M2"].jobs
+        assert job.goal == Rect(16, 27, 19, 30)
+        assert job.hazard == Rect(13, 24, 22, 30)
+
+    def test_m3_mix_two_jobs_same_goal_center(self):
+        d = self.decomposed["M3"]
+        rj0, rj1 = d.jobs
+        assert rj0.start == Rect(16, 1, 19, 4)
+        assert rj0.goal == Rect(9, 14, 12, 17)
+        assert rj0.hazard == Rect(6, 1, 22, 20)
+        assert rj1.start == Rect(16, 27, 19, 30)
+        assert rj1.goal == Rect(9, 14, 12, 17)
+        assert rj1.hazard == Rect(6, 11, 22, 30)
+
+    def test_m3_merged_output_is_6x5(self):
+        d = self.decomposed["M3"]
+        (merged,) = d.output_patterns
+        assert (merged.width, merged.height) == (6, 5)
+        assert d.size_errors[0] == pytest.approx(0.0625)
+        assert merged == Rect(8, 14, 13, 18)
+
+    def test_m4_mag(self):
+        d = self.decomposed["M4"]
+        (job,) = d.jobs
+        assert job.start == Rect(8, 14, 13, 18)
+        assert job.goal == Rect(38, 14, 43, 18)
+        assert job.hazard == Rect(5, 11, 46, 21)
+
+
+class TestRJHelperOtherTypes:
+    def test_out_keeps_droplet_size(self):
+        helper = RJHelper(W, H)
+        helper.decompose(MO("d", MOType.DIS, locs=((10.5, 10.5),), size=(4, 4)))
+        d = helper.decompose(
+            MO("o", MOType.OUT, pre=("d",), locs=((57.5, 10.5),))
+        )
+        (job,) = d.jobs
+        assert (job.goal.width, job.goal.height) == (4, 4)
+        assert d.output_patterns == ()
+
+    def test_split_halves_disjoint_and_inside_chip(self):
+        helper = RJHelper(W, H)
+        helper.decompose(MO("d", MOType.DIS, locs=((20.5, 15.5),), size=(4, 4)))
+        d = helper.decompose(
+            MO("s", MOType.SPT, pre=("d",), locs=((12.5, 15.5), (30.5, 15.5)))
+        )
+        rj0, rj1 = d.jobs
+        assert not rj0.start.adjacent_or_overlapping(rj1.start)
+        assert rj0.start.area == rj1.start.area == 9  # half of 16 fits as 3x3
+        # the odd-sized goal sits within half an MC of the requested center
+        assert abs(rj0.goal.center[0] - 12.5) <= 0.5
+        assert abs(rj0.goal.center[1] - 15.5) <= 0.5
+
+    def test_dilute_emits_four_jobs(self):
+        helper = RJHelper(W, H)
+        helper.decompose(MO("a", MOType.DIS, locs=((10.5, 10.5),), size=(4, 4)))
+        helper.decompose(MO("b", MOType.DIS, locs=((30.5, 10.5),), size=(4, 4)))
+        d = helper.decompose(
+            MO("dl", MOType.DLT, pre=("a", "b"), locs=((20.5, 15.5), (40.5, 15.5)))
+        )
+        assert len(d.jobs) == 4
+        assert d.merged_pattern is not None
+        assert len(d.output_patterns) == 2
+        # outputs carry half the merged area
+        assert d.output_patterns[0].area == pytest.approx(16, abs=2)
+
+    def test_pre_output_slots(self):
+        helper = RJHelper(W, H)
+        helper.decompose(MO("d", MOType.DIS, locs=((20.5, 15.5),), size=(4, 4)))
+        helper.decompose(
+            MO("s", MOType.SPT, pre=("d",), locs=((12.5, 15.5), (30.5, 15.5)))
+        )
+        d = helper.decompose(
+            MO("o", MOType.OUT, pre=("s",), pre_output=(1,), locs=((57.5, 15.5),))
+        )
+        (job,) = d.jobs
+        # consumes split output 1 (at loc (30.5, 15.5))
+        assert job.start.center[0] == pytest.approx(30.5, abs=1)
+
+    def test_missing_predecessor_rejected(self):
+        helper = RJHelper(W, H)
+        with pytest.raises(ValueError):
+            helper.decompose(MO("o", MOType.OUT, pre=("ghost",), locs=((57.5, 10.5),)))
+
+    def test_oversized_droplet_rejected(self):
+        helper = RJHelper(10, 10)
+        with pytest.raises(ValueError):
+            helper.decompose(
+                MO("d", MOType.DIS, locs=((5.0, 5.0),), size=(12, 12))
+            )
+
+    def test_decompose_all_in_order(self):
+        helper = RJHelper(W, H)
+        results = helper.decompose_all(fig12_mos())
+        assert [d.mo.name for d in results] == ["M1", "M2", "M3", "M4"]

@@ -1,0 +1,123 @@
+"""Tests for execution traces and MO events."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bioassay.ops import MO, MOType
+from repro.bioassay.seqgraph import SequencingGraph
+from repro.biochip.chip import MedaChip
+from repro.biochip.simulator import MedaSimulator
+from repro.biochip.trace import ExecutionTrace, TraceFrame
+from repro.core.baseline import AdaptiveRouter
+from repro.core.scheduler import HybridScheduler
+from repro.geometry.rect import Rect
+
+W, H = 40, 24
+
+
+def small_graph() -> SequencingGraph:
+    return SequencingGraph("g", [
+        MO("a", MOType.DIS, size=(4, 4), locs=((8.5, 2.5),)),
+        MO("b", MOType.DIS, size=(4, 4), locs=((8.5, 21.5),)),
+        MO("m", MOType.MIX, pre=("a", "b"), locs=((20.5, 12.5),),
+           hold_cycles=3),
+        MO("o", MOType.OUT, pre=("m",), locs=((37.5, 12.5),)),
+    ])
+
+
+def run_traced(seed: int = 0) -> tuple[ExecutionTrace, bool]:
+    chip = MedaChip.sample(W, H, np.random.default_rng(seed),
+                           tau_range=(0.95, 0.99), c_range=(5000, 9000))
+    trace = ExecutionTrace()
+    scheduler = HybridScheduler(small_graph(), AdaptiveRouter(), W, H)
+    sim = MedaSimulator(chip, np.random.default_rng(seed + 1), trace=trace)
+    result = sim.run(scheduler, 500)
+    return trace, result.success
+
+
+class TestTraceCollection:
+    def test_frames_cover_execution(self):
+        trace, ok = run_traced()
+        assert ok
+        assert trace.num_cycles > 10
+        cycles = [f.cycle for f in trace.frames]
+        assert cycles == sorted(cycles)
+
+    def test_actuations_monotone(self):
+        trace, _ = run_traced()
+        totals = [f.total_actuations for f in trace.frames]
+        assert all(a <= b for a, b in zip(totals, totals[1:]))
+
+    def test_events_cover_all_mos(self):
+        trace, _ = run_traced()
+        activated = {e.mo for e in trace.events if e.kind == "activated"}
+        done = {e.mo for e in trace.events if e.kind == "done"}
+        assert activated == done == {"a", "b", "m", "o"}
+
+    def test_mix_records_merge_event(self):
+        trace, _ = run_traced()
+        assert any(e.kind == "merged" and e.mo == "m" for e in trace.events)
+
+    def test_droplet_path_is_contiguous_patterns(self):
+        trace, _ = run_traced()
+        any_droplet = next(iter(trace.frames[-1].droplets.keys()), None)
+        if any_droplet is None:
+            # all droplets left the chip by the last frame; use the first
+            any_droplet = next(iter(trace.frames[0].droplets.keys()))
+        path = trace.droplet_path(any_droplet)
+        assert path
+        for (_, a), (_, b) in zip(path, path[1:]):
+            # one cycle moves a droplet by at most 2 MCs in each axis
+            assert abs(a.xa - b.xa) <= 2 and abs(a.ya - b.ya) <= 2
+
+    def test_max_concurrency(self):
+        trace, _ = run_traced()
+        assert 1 <= trace.max_concurrent_droplets() <= 3
+
+    def test_timeline_rendering(self):
+        trace, _ = run_traced()
+        timeline = trace.timeline()
+        assert "MO timeline" in timeline
+        assert " m" in timeline
+
+    def test_stall_counting_on_degraded_chip(self):
+        chip = MedaChip.sample(W, H, np.random.default_rng(2),
+                               tau_range=(0.4, 0.5), c_range=(8, 15))
+        trace = ExecutionTrace()
+        scheduler = HybridScheduler(small_graph(), AdaptiveRouter(), W, H)
+        sim = MedaSimulator(chip, np.random.default_rng(3), trace=trace)
+        sim.run(scheduler, 500)
+        total_stalls = sum(
+            trace.stall_cycles(did)
+            for f in trace.frames
+            for did in f.droplets
+        )
+        assert total_stalls > 0  # heavy degradation must cause stalls
+
+    def test_frame_order_enforced(self):
+        trace = ExecutionTrace()
+        trace.record(TraceFrame(1, {}, (), 0))
+        with pytest.raises(ValueError):
+            trace.record(TraceFrame(1, {}, (), 0))
+
+
+class TestActivationPolicies:
+    @pytest.mark.parametrize("order", ["program", "healthiest-first",
+                                       "shortest-first"])
+    def test_all_policies_complete(self, order):
+        chip = MedaChip.sample(W, H, np.random.default_rng(4),
+                               tau_range=(0.95, 0.99), c_range=(5000, 9000))
+        scheduler = HybridScheduler(
+            small_graph(), AdaptiveRouter(), W, H, activation_order=order
+        )
+        result = MedaSimulator(chip, np.random.default_rng(5)).run(
+            scheduler, 500
+        )
+        assert result.success, order
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            HybridScheduler(small_graph(), AdaptiveRouter(), W, H,
+                            activation_order="random")

@@ -1,0 +1,112 @@
+"""Tests for the wear-distribution statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.wear import (
+    remaining_lifetime,
+    wear_concentration,
+    wear_gini,
+    wear_histogram,
+)
+from repro.biochip.chip import MedaChip
+from repro.degradation.faults import FaultInjector, FaultMode
+
+
+class TestGini:
+    def test_uniform_wear_is_zero(self):
+        assert wear_gini(np.full((10, 10), 7)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_wear_near_one(self):
+        acts = np.zeros((20, 20))
+        acts[0, 0] = 1000
+        assert wear_gini(acts) > 0.99
+
+    def test_empty_and_zero(self):
+        assert wear_gini(np.zeros((5, 5))) == 0.0
+
+    def test_active_only_excludes_idle_cells(self):
+        acts = np.zeros((10, 10))
+        acts[:2, :] = 50  # 20 cells uniformly worn
+        assert wear_gini(acts, active_only=True) == pytest.approx(0.0, abs=1e-9)
+        assert wear_gini(acts) > 0.5
+
+    @given(st.lists(st.integers(0, 1000), min_size=2, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_gini_in_unit_interval(self, values):
+        g = wear_gini(np.asarray(values, dtype=float))
+        assert -1e-9 <= g <= 1.0
+
+
+class TestConcentration:
+    def test_all_on_top_cell(self):
+        acts = np.zeros(100)
+        acts[0] = 10
+        assert wear_concentration(acts, q=0.01) == 1.0
+
+    def test_uniform(self):
+        acts = np.ones(100)
+        assert wear_concentration(acts, q=0.1) == pytest.approx(0.1)
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            wear_concentration(np.ones(4), q=0.0)
+
+
+class TestHistogram:
+    def test_buckets_partition_cells(self):
+        acts = np.array([0, 0, 5, 20, 75, 300, 2000])
+        rows = wear_histogram(acts)
+        assert sum(count for _, count in rows) == acts.size
+
+    def test_custom_edges(self):
+        rows = wear_histogram(np.array([1, 2, 3]), edges=[0, 2])
+        assert rows[0] == ("[0, 2)", 1)
+        assert rows[1] == (">= 2", 2)
+
+
+class TestRemainingLifetime:
+    def test_fresh_chip_has_budget(self, rng):
+        chip = MedaChip.sample(8, 8, rng, tau_range=(0.5, 0.9),
+                               c_range=(100, 300))
+        life = remaining_lifetime(chip)
+        assert (life > 0).all()
+
+    def test_budget_shrinks_with_use(self, rng):
+        chip = MedaChip.sample(8, 8, rng, tau_range=(0.5, 0.9),
+                               c_range=(100, 300))
+        before = remaining_lifetime(chip)
+        chip.apply_actuation(np.full((8, 8), 10, dtype=int))
+        after = remaining_lifetime(chip)
+        assert (after < before).all()
+
+    def test_lifetime_prediction_consistent_with_health(self, rng):
+        chip = MedaChip.sample(6, 6, rng, tau_range=(0.6, 0.8),
+                               c_range=(50, 100))
+        life = remaining_lifetime(chip, min_health=1)
+        # Actuate one cell past its predicted budget: its health must fall
+        # below the threshold.
+        i, j = 2, 3
+        n = int(np.ceil(life[i, j])) + 1
+        u = np.zeros((6, 6), dtype=int)
+        u[i, j] = 1
+        for _ in range(n):
+            chip.apply_actuation(u)
+        assert chip.health()[i, j] < 1 or chip.degradation()[i, j] < 0.25 + 1e-9
+
+    def test_faulty_cells_capped_by_sudden_failure(self, rng):
+        plan = FaultInjector(FaultMode.UNIFORM, fraction=1.0,
+                             fail_range=(5, 5)).inject(4, 4, rng)
+        chip = MedaChip(tau=np.full((4, 4), 0.99), c=np.full((4, 4), 5000.0),
+                        fault_plan=plan)
+        life = remaining_lifetime(chip)
+        assert (life <= 5).all()
+
+    def test_invalid_threshold(self, rng):
+        chip = MedaChip.sample(4, 4, rng)
+        with pytest.raises(ValueError):
+            remaining_lifetime(chip, min_health=4)
