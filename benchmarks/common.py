@@ -15,6 +15,9 @@ to ``benchmarks/out/<bench>.txt`` so results survive the pytest capture.
 from __future__ import annotations
 
 import os
+import sys
+import warnings
+from datetime import datetime, timezone
 from pathlib import Path
 
 #: Chip used throughout the evaluation (Sec. VII-B simulates the fabricated
@@ -23,7 +26,24 @@ from pathlib import Path
 CHIP_WIDTH = 60
 CHIP_HEIGHT = 30
 
-SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+VALID_SCALES = ("quick", "full")
+
+
+def _resolve_scale() -> str:
+    """Validate ``REPRO_BENCH_SCALE``; typos must not silently mean quick."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if raw not in VALID_SCALES:
+        message = (
+            f"REPRO_BENCH_SCALE={raw!r} is not one of {VALID_SCALES}; "
+            f"falling back to 'quick'"
+        )
+        warnings.warn(message, stacklevel=2)
+        print(f"WARNING: {message}", file=sys.stderr)
+        return "quick"
+    return raw
+
+
+SCALE = _resolve_scale()
 
 OUT_DIR = Path(__file__).resolve().parent / "out"
 
@@ -34,9 +54,16 @@ def scaled(quick: int, full: int) -> int:
 
 
 def emit(bench_name: str, text: str) -> None:
-    """Print a result block and persist it under ``benchmarks/out/``."""
+    """Print a result block and append it under ``benchmarks/out/``.
+
+    Each run adds a timestamped header so successive runs accumulate in
+    ``benchmarks/out/<bench>.txt`` instead of overwriting each other.
+    """
     print()
     print(text)
     OUT_DIR.mkdir(exist_ok=True)
     path = OUT_DIR / f"{bench_name}.txt"
-    path.write_text(text + "\n")
+    stamp = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    header = f"=== {bench_name} · {stamp} · scale={SCALE} ==="
+    with path.open("a") as fh:
+        fh.write(f"{header}\n{text}\n\n")

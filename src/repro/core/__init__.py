@@ -41,6 +41,9 @@ from repro.core.droplet import (
 from repro.core.fastmdp import (
     CompiledRoutingModel,
     build_routing_model_fast,
+    build_routing_model_scalar,
+    clear_shape_action_memo,
+    compiled_shape_actions,
     extract_fast_strategy,
 )
 from repro.core.mdp import HAZARD_STATE, RoutingModel, build_routing_mdp
@@ -118,6 +121,9 @@ __all__ = [
     "baseline_field",
     "build_routing_mdp",
     "build_routing_model_fast",
+    "build_routing_model_scalar",
+    "clear_shape_action_memo",
+    "compiled_shape_actions",
     "extract_fast_strategy",
     "enabled_actions",
     "fit_droplet_shape",

@@ -20,6 +20,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro import perf
 from repro.core.actions import DEFAULT_MAX_ASPECT
 from repro.core.routing_job import RoutingJob
 from repro.core.strategy import RoutingStrategy, StrategyLibrary, strategy_from_synthesis
@@ -76,6 +77,9 @@ class AdaptiveRouter:
         cached = self.library.get(job, health)
         if cached is not None:
             return cached
+        # A library miss on a previously solved job means the zone health
+        # changed; seed value iteration from the last fixpoint (sound for
+        # the default Rmin query — synthesize ignores the seed otherwise).
         result = synthesize(
             job,
             health,
@@ -84,9 +88,12 @@ class AdaptiveRouter:
             max_aspect=self.max_aspect,
             pessimistic=self.pessimistic,
             epsilon=self.epsilon,
+            warm_values=self.library.warm_start(job),
         )
         self.syntheses += 1
         self.synthesis_seconds += result.total_time
+        perf.incr("router.adaptive.syntheses")
+        perf.add_time("router.adaptive.synthesis_seconds", result.total_time)
         strategy = strategy_from_synthesis(job, result)
         if strategy is not None:
             self.library.put(job, health, strategy)
@@ -131,6 +138,7 @@ class BaselineRouter:
         )
         self.syntheses += 1
         self.synthesis_seconds += result.total_time
+        perf.incr("router.baseline.syntheses")
         strategy = strategy_from_synthesis(job, result)
         self._cache[key] = strategy
         return strategy
@@ -193,6 +201,7 @@ class ReactiveRouter:
         framework would have fenced a feasible zone to begin with.
         """
         self.recoveries += 1
+        perf.incr("router.reactive.recoveries")
         result = synthesize(
             job, health, bits=self.bits, max_aspect=self.max_aspect,
             epsilon=self.epsilon,

@@ -5,15 +5,24 @@ by :func:`repro.modelcheck.compiled.compile_mdp` — the unit tests check the
 two pipelines produce the same model statistics and the same synthesis
 values — but built for the synthesis hot loop:
 
-* droplet patterns are plain ``(xa, ya, xb, yb)`` int tuples (hashing them
-  is several times cheaper than dataclass instances);
+* droplet patterns are plain ``(xa, ya, xb, yb)`` int tuples;
 * per-(shape, action) metadata (guards, frontier rectangles, successor
-  patterns) is precomputed once as coordinate *offsets* and shifted per
-  state;
+  patterns) is compiled once per *process* into a global memo keyed by
+  ``(w, h, max_aspect, families)`` and shifted per state;
 * frontier means come from a 2-D prefix sum of the force matrix, so every
   leg probability is O(1);
-* transitions are emitted straight into CSR arrays, skipping the explicit
-  model objects entirely.
+* state expansion is *vectorized over BFS wavefronts*: every state of a
+  wave with the same droplet shape is expanded with numpy array ops (leg
+  probabilities, outcome products, hazard/obstacle checks, successor
+  dedup through a per-shape id grid) instead of a per-state Python loop;
+* transitions are emitted into chunked numpy buffers and assembled into
+  CSR form directly, skipping the explicit model objects entirely.
+
+:func:`build_routing_model_scalar` keeps the original per-state Python
+expansion.  It is the pre-fast-path pipeline: the differential tests check
+the vectorized builder against it (and against the reference explicit
+builder), and ``benchmarks/bench_synthesis.py`` measures the speedup of
+the fast path over it.
 
 Only matrix-backed force fields are supported (the synthesizer's health
 estimates and the baseline's uniform field both are); exotic fields fall
@@ -27,6 +36,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import sparse
 
+from repro import perf
 from repro.core.actions import (
     ALL_ACTIONS,
     DEFAULT_MAX_ASPECT,
@@ -156,6 +166,40 @@ def _spec_for(base: Rect, action: Action) -> _ActionSpec:
     )
 
 
+#: Process-global memo of per-shape action semantics.  Key: droplet shape,
+#: aspect bound and (normalized) family restriction; value: the compiled
+#: specs.  Shape semantics are position-independent, so one compilation
+#: serves every model build in the process.
+_SHAPE_ACTION_MEMO: dict[
+    tuple[int, int, float, tuple[ActionClass, ...] | None],
+    tuple[_ActionSpec, ...],
+] = {}
+
+
+def compiled_shape_actions(
+    w: int, h: int, max_aspect: float,
+    families: tuple[ActionClass, ...] | None = None,
+) -> tuple[_ActionSpec, ...]:
+    """Memoized per-shape action semantics (see :data:`_SHAPE_ACTION_MEMO`)."""
+    key = (w, h, float(max_aspect),
+           families if families is None else tuple(families))
+    specs = _SHAPE_ACTION_MEMO.get(key)
+    if specs is None:
+        perf.incr("fastmdp.shape_memo.miss")
+        specs = tuple(_compile_shape_actions(w, h, max_aspect,
+                                             families=key[3]))
+        _SHAPE_ACTION_MEMO[key] = specs
+    else:
+        perf.incr("fastmdp.shape_memo.hit")
+    return specs
+
+
+def clear_shape_action_memo() -> None:
+    """Drop the global action-spec memo (benches use this to model a cold
+    process; regular code never needs it — specs are immutable)."""
+    _SHAPE_ACTION_MEMO.clear()
+
+
 @dataclass(frozen=True)
 class CompiledRoutingModel:
     """A routing MDP in compiled (array) form plus its state inventory."""
@@ -178,17 +222,19 @@ class CompiledRoutingModel:
         return int(self.compiled.transitions.nnz)
 
 
-def build_routing_model_fast(
+def build_routing_model_scalar(
     job: RoutingJob,
     forces: np.ndarray,
     max_aspect: float = DEFAULT_MAX_ASPECT,
     families: tuple[ActionClass, ...] | None = None,
 ) -> CompiledRoutingModel:
-    """Build the per-RJ MDP directly in compiled form.
+    """Per-state (scalar) compiled-model builder — the pre-fast-path pipeline.
 
-    ``forces`` is the ``(W, H)`` per-MC relative-force matrix; cells outside
-    it exert zero force.  ``families`` optionally restricts the action set
-    to the given classes (``None`` = all five).
+    Semantically identical to :func:`build_routing_model_fast` but expands
+    one state at a time in pure Python.  Kept as the differential-test
+    oracle and as the baseline that ``benchmarks/bench_synthesis.py``
+    measures the vectorized fast path against; no production caller uses
+    it.
     """
     if job.is_dispense:
         raise ValueError("dispense jobs are materialized, not routed")
@@ -334,21 +380,303 @@ def build_routing_model_fast(
     )
 
 
+def build_routing_model_fast(
+    job: RoutingJob,
+    forces: np.ndarray,
+    max_aspect: float = DEFAULT_MAX_ASPECT,
+    families: tuple[ActionClass, ...] | None = None,
+) -> CompiledRoutingModel:
+    """Build the per-RJ MDP directly in compiled form, vectorized.
+
+    ``forces`` is the ``(W, H)`` per-MC relative-force matrix; cells outside
+    it exert zero force.  ``families`` optionally restricts the action set
+    to the given classes (``None`` = all five).
+
+    Instead of expanding states one at a time, the builder enumerates
+    *every* in-hazard pattern of every reachable droplet shape up front,
+    computes all leg probabilities / outcome transitions with one batch of
+    array ops per ``(shape, action)`` pair, and then restricts the model to
+    the component reachable from the start with a C-level sparse BFS
+    (:func:`scipy.sparse.csgraph.breadth_first_order`).  The arithmetic is
+    element-for-element the same as :func:`build_routing_model_scalar`, so
+    the two builders produce identical probabilities and (up to state
+    ordering) identical models.
+    """
+    if job.is_dispense:
+        raise ValueError("dispense jobs are materialized, not routed")
+    perf.incr("fastmdp.builds")
+    width, height = forces.shape
+    prefix = np.zeros((width + 1, height + 1))
+    prefix[1:, 1:] = forces.cumsum(axis=0).cumsum(axis=1)
+
+    hz = job.hazard.as_tuple()
+    goal = job.goal.as_tuple()
+    obstacles = [o.as_tuple() for o in job.obstacles]
+    start = job.start.as_tuple()
+    hz_w = hz[2] - hz[0] + 1
+    hz_h = hz[3] - hz[1] + 1
+
+    def leg_probs(xa: np.ndarray, ya: np.ndarray, leg: _LegSpec) -> np.ndarray:
+        """Vectorized ``rect_mean`` over a position batch for one leg."""
+        cxa = np.maximum(xa + leg.dxa, 1)
+        cya = np.maximum(ya + leg.dya, 1)
+        cxb = np.minimum(xa + leg.dxb, width)
+        cyb = np.minimum(ya + leg.dyb, height)
+        valid = (cxb >= cxa) & (cyb >= cya)
+        # Clip the lookup indices so invalid (empty-overlap) rows index
+        # safely; their values are discarded by the mask.
+        ixb = np.clip(cxb, 0, width)
+        iyb = np.clip(cyb, 0, height)
+        ixa = np.clip(cxa - 1, 0, width)
+        iya = np.clip(cya - 1, 0, height)
+        total = (
+            prefix[ixb, iyb] - prefix[ixa, iyb]
+            - prefix[ixb, iya] + prefix[ixa, iya]
+        )
+        area = (leg.dxb - leg.dxa + 1) * (leg.dyb - leg.dya + 1)
+        return np.where(valid, total / area, 0.0)
+
+    # -- shape closure: droplet shapes reachable via morph successors --------
+    start_shape = (start[2] - start[0] + 1, start[3] - start[1] + 1)
+    shape_index: dict[tuple[int, int], int] = {start_shape: 0}
+    shapes: list[tuple[int, int]] = [start_shape]
+    specs_by_shape: list[tuple[_ActionSpec, ...]] = []
+    si = 0
+    while si < len(shapes):
+        specs = compiled_shape_actions(
+            shapes[si][0], shapes[si][1], max_aspect, families=families
+        )
+        specs_by_shape.append(specs)
+        for spec in specs:
+            for _, succ in spec.outcomes:
+                if succ is None:
+                    continue
+                nshape = (succ[2], succ[3])
+                if (
+                    nshape not in shape_index
+                    and nshape[0] <= hz_w and nshape[1] <= hz_h
+                ):
+                    shape_index[nshape] = len(shapes)
+                    shapes.append(nshape)
+        si += 1
+
+    # -- provisional pattern ids: 0 = hazard sink, then shape-major blocks ---
+    # Patterns of shape (w, h) anchor at xa in [hz.xa, hz.xb - w + 1] and
+    # ya in [hz.ya, hz.yb - h + 1]; the id of (xa, ya) is arithmetic, so
+    # successor lookups need no hash/grid at all.
+    base = np.zeros(len(shapes) + 1, dtype=np.int64)
+    for i, (w, h) in enumerate(shapes):
+        base[i + 1] = base[i] + (hz_w - w + 1) * (hz_h - h + 1)
+    total = int(base[-1])
+    start_pid = 1 + int(base[shape_index[start_shape]]) + (
+        (start[0] - hz[0]) * (hz_h - start_shape[1] + 1) + (start[1] - hz[1])
+    )
+
+    pat_x = np.zeros(total + 1, dtype=np.int64)
+    pat_y = np.zeros(total + 1, dtype=np.int64)
+    pat_w = np.zeros(total + 1, dtype=np.int64)
+    pat_h = np.zeros(total + 1, dtype=np.int64)
+
+    owner_chunks: list[np.ndarray] = []
+    label_chunks: list[np.ndarray] = []
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    vals: list[np.ndarray] = []
+    goal_pids: list[np.ndarray] = []
+    num_prov_choices = 0
+
+    for si, (w, h) in enumerate(shapes):
+        nx = hz_w - w + 1
+        ny = hz_h - h + 1
+        xa = np.repeat(np.arange(hz[0], hz[0] + nx, dtype=np.int64), ny)
+        ya = np.tile(np.arange(hz[1], hz[1] + ny, dtype=np.int64), nx)
+        pids = 1 + int(base[si]) + np.arange(nx * ny, dtype=np.int64)
+        pat_x[pids] = xa
+        pat_y[pids] = ya
+        pat_w[pids] = w
+        pat_h[pids] = h
+        in_goal = (
+            (goal[0] <= xa) & (goal[1] <= ya)
+            & (xa + w - 1 <= goal[2]) & (ya + h - 1 <= goal[3])
+        )
+        if in_goal.any():
+            goal_pids.append(pids[in_goal])
+        ng = ~in_goal  # goal patterns are absorbing: no choices
+        xa_ng, ya_ng, pid_ng = xa[ng], ya[ng], pids[ng]
+        k = pid_ng.size
+        if k == 0:
+            continue
+        for spec in specs_by_shape[si]:
+            probs = [leg_probs(xa_ng, ya_ng, leg) for leg in spec.legs]
+            c_prov = num_prov_choices + np.arange(k, dtype=np.int64)
+            num_prov_choices += k
+            owner_chunks.append(pid_ng)
+            label_chunks.append(np.full(k, spec.name, dtype=object))
+            stay_p = np.zeros(k)
+            for pattern, succ in spec.outcomes:
+                p = np.ones(k)
+                for leg_i, success in enumerate(pattern):
+                    p = p * (probs[leg_i] if success else 1.0 - probs[leg_i])
+                if succ is None:
+                    stay_p += p
+                    continue
+                dxa, dya, w2, h2 = succ
+                nxa, nya = xa_ng + dxa, ya_ng + dya
+                emit = p > 0.0
+                if not emit.any():
+                    continue
+                in_hz = (
+                    (hz[0] <= nxa) & (hz[1] <= nya)
+                    & (nxa + w2 - 1 <= hz[2]) & (nya + h2 - 1 <= hz[3])
+                )
+                is_start = (
+                    (nxa == start[0]) & (nya == start[1])
+                    & (w2 == start_shape[0]) & (h2 == start_shape[1])
+                )
+                blocked = np.zeros(k, dtype=bool)
+                for (oxa, oya, oxb, oyb) in obstacles:
+                    blocked |= (
+                        (nxa - 2 <= oxb) & (oxa - 2 <= nxa + w2 - 1)
+                        & (nya - 2 <= oyb) & (oya - 2 <= nya + h2 - 1)
+                    )
+                safe = in_hz & (is_start | ~blocked)
+                sj = shape_index.get((w2, h2))
+                if sj is None:  # shape does not fit the hazard bounds
+                    targets = np.zeros(k, dtype=np.int64)
+                else:
+                    ny2 = hz_h - h2 + 1
+                    tpid = 1 + int(base[sj]) + (
+                        (nxa - hz[0]) * ny2 + (nya - hz[1])
+                    )
+                    targets = np.where(safe, tpid, HAZARD_INDEX)
+                rows.append(c_prov[emit])
+                cols.append(targets[emit])
+                vals.append(p[emit])
+            stay_emit = stay_p > 0.0
+            if stay_emit.any():
+                rows.append(c_prov[stay_emit])
+                cols.append(pid_ng[stay_emit])
+                vals.append(stay_p[stay_emit])
+
+    row_arr = (np.concatenate(rows) if rows else np.zeros(0, dtype=np.int64))
+    col_arr = (np.concatenate(cols) if cols else np.zeros(0, dtype=np.int64))
+    val_arr = (np.concatenate(vals) if vals else np.zeros(0))
+    owner_arr = (
+        np.concatenate(owner_chunks) if owner_chunks
+        else np.zeros(0, dtype=np.int64)
+    )
+    label_arr = (
+        np.concatenate(label_chunks) if label_chunks
+        else np.zeros(0, dtype=object)
+    )
+
+    # -- restrict to the component reachable from the start ------------------
+    reach = np.zeros(total + 1, dtype=bool)
+    reach[HAZARD_INDEX] = True  # the sink exists even when unreachable
+    reach[start_pid] = True
+    # State adjacency (owner state -> successor state) from the emitted
+    # transitions: transition t belongs to choice row_arr[t], whose owner
+    # pattern is owner_arr[row_arr[t]].
+    if row_arr.size:
+        edge_src = owner_arr[row_arr]
+        graph = sparse.csr_matrix(
+            (np.ones(edge_src.size, dtype=np.int8), (edge_src, col_arr)),
+            shape=(total + 1, total + 1),
+        )
+        order = sparse.csgraph.breadth_first_order(
+            graph, start_pid, directed=True, return_predecessors=False
+        )
+        reach[order] = True
+
+    reach_pids = np.flatnonzero(reach)
+    n = reach_pids.size
+    new_id = np.full(total + 1, -1, dtype=np.int64)
+    new_id[HAZARD_INDEX] = 0
+    new_id[start_pid] = 1
+    others = reach_pids[(reach_pids != HAZARD_INDEX) & (reach_pids != start_pid)]
+    new_id[others] = 2 + np.arange(others.size, dtype=np.int64)
+
+    keep_choice = np.flatnonzero(reach[owner_arr]) if owner_arr.size else \
+        np.zeros(0, dtype=np.int64)
+    new_owner = new_id[owner_arr[keep_choice]]
+    perm = np.argsort(new_owner, kind="stable")
+    final_choices = keep_choice[perm]
+    num_choices = final_choices.size
+    choice_state = new_owner[perm]
+    choice_labels: list[str] = label_arr[final_choices].tolist()
+    choice_new = np.full(num_prov_choices, -1, dtype=np.int64)
+    choice_new[final_choices] = np.arange(num_choices, dtype=np.int64)
+
+    if row_arr.size:
+        rows_f = choice_new[row_arr]
+        tmask = rows_f >= 0
+        rows_f = rows_f[tmask]
+        cols_f = new_id[col_arr[tmask]]
+        vals_f = val_arr[tmask]
+        counts = np.bincount(rows_f, minlength=num_choices)
+        assert (counts > 0).all(), "every action has at least one outcome"
+        t_order = np.argsort(rows_f, kind="stable")
+        indptr = np.zeros(max(num_choices, 1) + 1, dtype=np.int64)
+        indptr[1 : num_choices + 1] = np.cumsum(counts)
+        transitions = sparse.csr_matrix(
+            (vals_f[t_order], cols_f[t_order], indptr),
+            shape=(max(num_choices, 1), n),
+        )
+        transitions.sum_duplicates()
+    else:
+        transitions = sparse.csr_matrix((max(num_choices, 1), n))
+
+    goal_mask = np.zeros(n, dtype=bool)
+    if goal_pids:
+        goal_new = new_id[np.concatenate(goal_pids)]
+        goal_mask[goal_new[goal_new >= 0]] = True
+    hazard_mask = np.zeros(n, dtype=bool)
+    hazard_mask[HAZARD_INDEX] = True
+    compiled = CompiledMDP(
+        num_states=n,
+        choice_state=choice_state,
+        choice_reward=np.full(num_choices, CYCLE_REWARD),
+        transitions=transitions,
+        labels={"goal": goal_mask, "hazard": hazard_mask},
+        initial=1,
+    )
+    from repro.core.mdp import HAZARD_STATE
+
+    inv = np.zeros(n, dtype=np.int64)
+    inv[new_id[reach_pids]] = reach_pids
+    sx = pat_x[inv[1:]]
+    sy = pat_y[inv[1:]]
+    sw = pat_w[inv[1:]]
+    sh = pat_h[inv[1:]]
+    state_objects: list[Rect | str] = [HAZARD_STATE] + [
+        Rect(x, y, x + w - 1, y + h - 1)
+        for x, y, w, h in zip(
+            sx.tolist(), sy.tolist(), sw.tolist(), sh.tolist()
+        )
+    ]
+    return CompiledRoutingModel(
+        compiled=compiled, states=state_objects, choice_labels=choice_labels,
+        job=job,
+    )
+
+
 def extract_fast_strategy(
     model: CompiledRoutingModel, result: ValueResult
 ) -> MemorylessStrategy:
     """Memoryless strategy from a solved compiled routing model."""
     cm = model.compiled
-    counts = np.bincount(cm.choice_state, minlength=cm.num_states)
-    first = np.zeros(cm.num_states, dtype=np.int64)
-    first[1:] = np.cumsum(counts)[:-1]
+    first = cm.first_choice()
+    has_choice = result.choice >= 0
+    global_choice = np.where(has_choice, first + result.choice, -1)
     decisions: dict[object, str] = {}
     values: dict[object, float] = {}
-    for idx, state in enumerate(model.states):
-        values[state] = float(result.values[idx])
-        local = int(result.choice[idx])
-        if local >= 0:
-            decisions[state] = model.choice_labels[first[idx] + local]
+    value_list = result.values.tolist()
+    choice_list = global_choice.tolist()
+    labels = model.choice_labels
+    for state, value, c_idx in zip(model.states, value_list, choice_list):
+        values[state] = value
+        if c_idx >= 0:
+            decisions[state] = labels[c_idx]
     return MemorylessStrategy(
         decisions=decisions,
         values=values,

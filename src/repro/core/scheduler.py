@@ -25,6 +25,7 @@ from enum import Enum
 
 import numpy as np
 
+from repro import perf
 from repro.bioassay.ops import MOType
 from repro.bioassay.seqgraph import SequencingGraph
 from repro.core.actions import ACTIONS, apply_action
@@ -184,6 +185,7 @@ class HybridScheduler:
     def plan_cycle(self, health: np.ndarray) -> CyclePlan:
         """Plan one operational cycle against the sensed health matrix."""
         self.cycle += 1
+        perf.incr("scheduler.cycles")
         if self.failure or self.complete:
             return CyclePlan({}, {}, failure=self.failure, complete=self.complete)
         self._activate_ready(health)
@@ -559,6 +561,7 @@ class HybridScheduler:
                         health, retargeted.hazard
                     )
                     self.recoveries += 1
+                    perf.incr("scheduler.recoveries")
                     self.events.append(MOEvent(self.cycle, name, "recovered"))
             if self.router.adaptive and task.strategy is not None:
                 fp = health_fingerprint(health, task.job.hazard)
@@ -567,6 +570,7 @@ class HybridScheduler:
                 if task.replan_at is not None and self.cycle >= task.replan_at:
                     task.replan_at = None
                     self.resyntheses += 1
+                    perf.incr("scheduler.resyntheses")
                     if not self._plan_task(task, health, rect):
                         targets[task.droplet_id] = rect
                         if self.failure:

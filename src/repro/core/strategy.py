@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import perf
 from repro.core.routing_job import RoutingJob
 from repro.core.synthesis import SynthesisResult
 from repro.geometry.rect import Rect
@@ -70,6 +71,9 @@ class StrategyLibrary:
     entries: dict[tuple[tuple[int, ...], bytes], RoutingStrategy] = field(
         default_factory=dict
     )
+    #: Last solved value vector per job key (health-independent), used to
+    #: warm-start value iteration on the next resynthesis of the same job.
+    warm_values: dict[tuple[int, ...], dict] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
 
@@ -83,15 +87,30 @@ class StrategyLibrary:
         entry = self.entries.get(self._key(job, health))
         if entry is None:
             self.misses += 1
+            perf.incr("library.misses")
         else:
             self.hits += 1
+            perf.incr("library.hits")
         return entry
 
     def put(
         self, job: RoutingJob, health: np.ndarray, strategy: RoutingStrategy
     ) -> None:
-        """Cache a synthesized strategy."""
+        """Cache a synthesized strategy and retain its values for warm-start.
+
+        MC health is monotone non-increasing, so when the same job is
+        resynthesized under degraded health the previous ``Rmin`` fixpoint
+        is a natural seed: the new values dominate the old ones pointwise
+        and the stochastic-shortest-path iteration converges from any
+        nonnegative start, so seeding is sound and typically saves most of
+        the iterations.
+        """
         self.entries[self._key(job, health)] = strategy
+        self.warm_values[job.key()] = strategy.policy.values
+
+    def warm_start(self, job: RoutingJob) -> dict | None:
+        """The last solved ``{pattern: value}`` map for ``job``, if any."""
+        return self.warm_values.get(job.key())
 
     def __len__(self) -> int:
         return len(self.entries)

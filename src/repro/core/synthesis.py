@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import perf
 from repro.core.actions import DEFAULT_MAX_ASPECT, ActionClass
 from repro.core.fastmdp import (
     CompiledRoutingModel,
@@ -108,15 +109,19 @@ def synthesize(
     max_aspect: float = DEFAULT_MAX_ASPECT,
     pessimistic: bool = False,
     epsilon: float = SYNTHESIS_EPSILON,
+    warm_values: "dict | None" = None,
 ) -> SynthesisResult:
     """Algorithm 2: synthesize an adaptive routing strategy for ``job``.
 
     ``health`` is the current sensed health matrix ``H`` (shape ``(W, H)``).
     The default query is the paper's ``phi_r`` (minimum expected cycles).
+    ``warm_values`` optionally seeds value iteration — see
+    :func:`synthesize_with_field`.
     """
     field = force_field_from_health(health, bits=bits, pessimistic=pessimistic)
     return synthesize_with_field(
-        job, field, query=query, max_aspect=max_aspect, epsilon=epsilon
+        job, field, query=query, max_aspect=max_aspect, epsilon=epsilon,
+        warm_values=warm_values,
     )
 
 
@@ -127,13 +132,24 @@ def synthesize_with_field(
     max_aspect: float = DEFAULT_MAX_ASPECT,
     epsilon: float = SYNTHESIS_EPSILON,
     families: tuple[ActionClass, ...] | None = None,
+    warm_values: "dict | None" = None,
 ) -> SynthesisResult:
     """Synthesize against an explicit force field.
 
     Used directly by the degradation-unaware baseline (uniform full-health
     field) and by the ablation benches (true-``D`` oracle fields).
+
+    ``warm_values`` is an optional ``{pattern: value}`` map (typically the
+    ``values`` of a previously synthesized strategy for the same job) used
+    to seed value iteration.  It is applied only to *reward* queries, where
+    the stochastic-shortest-path iteration converges to the unique fixpoint
+    from any nonnegative seed; probability queries need a least-fixpoint
+    seed from below and are always cold-started here (see
+    ``solve_reach_avoid_probability``).  States absent from the map start
+    cold at zero, so partial overlap after a health change is fine.
     """
     query = query if query is not None else reward_query()
+    perf.incr("synthesis.count")
 
     t0 = time.perf_counter()
     forces = _force_matrix(field)
@@ -149,6 +165,21 @@ def synthesize_with_field(
         compiled = compile_mdp(model.mdp)
     t1 = time.perf_counter()
 
+    initial_values: np.ndarray | None = None
+    if (
+        warm_values
+        and isinstance(model, CompiledRoutingModel)
+        and query.objective in (Objective.RMIN, Objective.RMAX)
+    ):
+        # Map by state identity, not index: a health change alters state
+        # discovery, so the same pattern can sit at a different index.
+        initial_values = np.fromiter(
+            (warm_values.get(s, 0.0) for s in model.states),
+            dtype=float,
+            count=compiled.num_states,
+        )
+        perf.incr("synthesis.warm_seeded")
+
     if query.objective in (Objective.RMIN, Objective.RMAX):
         result = solve_reach_avoid_reward(
             compiled,
@@ -156,6 +187,7 @@ def synthesize_with_field(
             avoid=query.formula.avoid_label,
             minimize=query.objective is Objective.RMIN,
             epsilon=epsilon,
+            initial_values=initial_values,
         )
         expected = float(result.values[compiled.initial])
         probability = None
@@ -170,6 +202,8 @@ def synthesize_with_field(
         probability = float(result.values[compiled.initial])
         expected = float("inf") if probability == 0.0 else float("nan")
     t2 = time.perf_counter()
+    perf.add_time("synthesis.construct_seconds", t1 - t0)
+    perf.add_time("synthesis.solve_seconds", t2 - t1)
 
     if isinstance(model, CompiledRoutingModel):
         strategy: MemorylessStrategy | None = extract_fast_strategy(model, result)

@@ -20,11 +20,12 @@ on randomized models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy import sparse
 
+from repro import perf
 from repro.modelcheck.model import MDP
 from repro.modelcheck.reachability import (
     DEFAULT_EPSILON,
@@ -43,6 +44,9 @@ class CompiledMDP:
     transitions: sparse.csr_matrix
     labels: dict[str, np.ndarray]
     initial: int
+    _first_choice_cache: list = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     @property
     def num_choices(self) -> int:
@@ -53,6 +57,20 @@ class CompiledMDP:
         if name in self.labels:
             return self.labels[name]
         return np.zeros(self.num_states, dtype=bool)
+
+    def first_choice(self) -> np.ndarray:
+        """Index of each state's first choice (choices are state-grouped).
+
+        Computed once per model and reused by every strategy extraction and
+        local-index conversion instead of re-running bincount/cumsum per
+        call.
+        """
+        if not self._first_choice_cache:
+            first = np.zeros(self.num_states, dtype=np.int64)
+            counts = np.bincount(self.choice_state, minlength=self.num_states)
+            first[1:] = np.cumsum(counts)[:-1]
+            self._first_choice_cache.append(first)
+        return self._first_choice_cache[0]
 
 
 def compile_mdp(mdp: MDP) -> CompiledMDP:
@@ -112,15 +130,20 @@ def _scatter_opt(
 def _argopt_choice(
     owners: np.ndarray, q: np.ndarray, per_state: np.ndarray, n: int
 ) -> np.ndarray:
-    """First choice index per state achieving its optimal value."""
+    """First choice index per state achieving its optimal value.
+
+    Fully vectorized: among the choices whose value matches the owner's
+    optimum, ``np.unique(..., return_index=True)`` picks the first
+    occurrence per state (``hit`` indices are scanned in ascending choice
+    order, so the first occurrence is the lowest matching choice index).
+    """
     choice = np.full(n, -1, dtype=np.int64)
     hit = np.isclose(q, per_state[owners], rtol=0.0, atol=1e-12) | (
         q == per_state[owners]
     )
-    # Walk backwards so the *first* matching choice per state wins.
-    for c in range(owners.size - 1, -1, -1):
-        if hit[c]:
-            choice[owners[c]] = c
+    idx = np.flatnonzero(hit)
+    states, first = np.unique(owners[idx], return_index=True)
+    choice[states] = idx[first]
     return choice
 
 
@@ -131,8 +154,19 @@ def solve_reach_avoid_probability(
     maximize: bool = True,
     epsilon: float = DEFAULT_EPSILON,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    initial_values: np.ndarray | None = None,
 ) -> ValueResult:
-    """Vectorized ``Pmax``/``Pmin`` of ``[] !avoid && <> goal``."""
+    """Vectorized ``Pmax``/``Pmin`` of ``[] !avoid && <> goal``.
+
+    ``initial_values`` warm-starts value iteration.  Because the objective
+    is a *least* fixpoint (``Pmax``) / *greatest* fixpoint (``Pmin``) of
+    the Bellman operator, the seed must bound the true values from the
+    iteration's side — pointwise **below** for ``maximize=True``, above
+    for ``maximize=False`` — or the iteration may stall on a spurious
+    fixpoint (e.g. a self-loop holding a stale probability).  Values are
+    clipped to ``[0, 1]`` and goal/avoid states are re-pinned; seeds for
+    those states are ignored.
+    """
     goal_mask = cm.label_mask(goal)
     avoid_mask = cm.label_mask(avoid)
     if np.any(goal_mask & avoid_mask):
@@ -140,6 +174,13 @@ def solve_reach_avoid_probability(
     n = cm.num_states
     frozen = goal_mask | avoid_mask
     values = np.where(goal_mask, 1.0, 0.0)
+    if initial_values is not None:
+        seed = np.clip(np.nan_to_num(np.asarray(initial_values, dtype=float),
+                                     nan=0.0, posinf=1.0, neginf=0.0), 0.0, 1.0)
+        values = np.where(frozen, values, seed)
+        perf.incr("vi.probability.warm_solves")
+    else:
+        perf.incr("vi.probability.cold_solves")
     owners = cm.choice_state
     live = ~frozen[owners]  # choices of non-frozen states
 
@@ -154,6 +195,7 @@ def solve_reach_avoid_probability(
             break
     else:  # pragma: no cover
         raise RuntimeError("value iteration did not converge")
+    perf.incr("vi.probability.iterations", iterations)
 
     q = cm.transitions @ values
     per_state = _scatter_opt(owners[live], q[live], n, maximize)
@@ -212,11 +254,21 @@ def solve_reach_avoid_reward(
     minimize: bool = True,
     epsilon: float = DEFAULT_EPSILON,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
+    initial_values: np.ndarray | None = None,
 ) -> ValueResult:
     """Vectorized ``Rmin``/``Rmax`` of cumulated reward until ``goal``.
 
     States outside the probability-one region get ``inf`` (PRISM total-reward
     semantics); the iteration is restricted to choices that stay inside it.
+
+    ``initial_values`` warm-starts value iteration for the active states;
+    goal states and states outside the probability-one region keep their
+    pinned values regardless of the seed.  For ``Rmin`` (a stochastic
+    shortest path with strictly positive cycle rewards, restricted to the
+    prob-1 region where a proper policy exists) value iteration converges
+    from *any* non-negative seed, so re-solving after a small model change
+    from the previous fixpoint is sound and typically takes a handful of
+    sweeps instead of hundreds.
     """
     goal_mask = cm.label_mask(goal)
     sure = solve_prob1e(cm, goal=goal, avoid=avoid)
@@ -231,6 +283,13 @@ def solve_reach_avoid_reward(
     active = np.zeros(n, dtype=bool)
     active[owners[usable]] = True
     values[active] = 0.0
+    if initial_values is not None:
+        seed = np.nan_to_num(np.asarray(initial_values, dtype=float),
+                             nan=0.0, posinf=0.0, neginf=0.0)
+        values[active] = np.maximum(seed[active], 0.0)
+        perf.incr("vi.reward.warm_solves")
+    else:
+        perf.incr("vi.reward.cold_solves")
 
     iterations = 0
     for iterations in range(1, max_iterations + 1):
@@ -244,6 +303,7 @@ def solve_reach_avoid_reward(
             break
     else:  # pragma: no cover
         raise RuntimeError("reward iteration did not converge")
+    perf.incr("vi.reward.iterations", iterations)
 
     q = cm.choice_reward + cm.transitions @ values
     per_state = _scatter_opt(owners[usable], q[usable], n, maximize=not minimize)
@@ -262,9 +322,7 @@ def _to_local(cm: CompiledMDP, global_choice: np.ndarray) -> np.ndarray:
     owning state's choice list, matching the reference solvers.
     """
     n = cm.num_states
-    first_choice = np.full(n, 0, dtype=np.int64)
-    counts = np.bincount(cm.choice_state, minlength=n)
-    first_choice[1:] = np.cumsum(counts)[:-1]
+    first_choice = cm.first_choice()
     local = np.full(n, -1, dtype=np.int64)
     has = global_choice >= 0
     states = np.flatnonzero(has)

@@ -1,0 +1,86 @@
+"""Process-global performance counters and timers for the synthesis stack.
+
+The synthesis fast path (Sec. VI-C/VI-D hot loop) is only worth optimizing
+if the wins are observable, so every layer reports into this registry:
+
+* :func:`incr` — monotone event counters (`synthesis.count`,
+  `fastmdp.shape_memo.hit`, `vi.warm.solves`, ...);
+* :func:`add_time` / :func:`timer` — accumulated wall time per phase
+  (`synthesis.construct_seconds`, `synthesis.solve_seconds`, ...);
+* :func:`snapshot` — a plain ``dict`` copy for benches and JSON reports;
+* :func:`reset` — zero everything (benches call this between configs).
+
+The registry is intentionally simple: a module-level dict guarded by a
+lock.  Counter updates are a dict ``+=`` — cheap enough to leave enabled
+everywhere, including the per-cycle scheduler loop.
+
+Counter naming convention: ``<layer>.<event>`` with dotted sub-events;
+time accumulators end in ``_seconds``.  The canonical counters are listed
+in README.md ("Performance" section).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator
+
+_lock = threading.Lock()
+_counters: dict[str, float] = {}
+
+
+def incr(name: str, amount: int = 1) -> None:
+    """Increment an event counter."""
+    with _lock:
+        _counters[name] = _counters.get(name, 0) + amount
+
+
+def add_time(name: str, seconds: float) -> None:
+    """Accumulate wall time under ``name`` (convention: ``*_seconds``)."""
+    with _lock:
+        _counters[name] = _counters.get(name, 0) + seconds
+
+
+@contextmanager
+def timer(name: str) -> Iterator[None]:
+    """Accumulate the wall time of the ``with`` body under ``name``."""
+    t0 = perf_counter()
+    try:
+        yield
+    finally:
+        add_time(name, perf_counter() - t0)
+
+
+def get(name: str, default: float = 0) -> float:
+    """Current value of one counter (0 when never touched)."""
+    with _lock:
+        return _counters.get(name, default)
+
+
+def snapshot() -> dict[str, float]:
+    """A copy of every counter, for reports and JSON dumps."""
+    with _lock:
+        return dict(_counters)
+
+
+def reset() -> None:
+    """Zero the registry (benches call this between configurations)."""
+    with _lock:
+        _counters.clear()
+
+
+def report() -> str:
+    """Human-readable multi-line dump, sorted by counter name."""
+    snap = snapshot()
+    if not snap:
+        return "(no perf counters recorded)"
+    width = max(len(k) for k in snap)
+    lines = []
+    for name in sorted(snap):
+        value = snap[name]
+        shown = f"{value:.6f}".rstrip("0").rstrip(".") if isinstance(
+            value, float
+        ) and not float(value).is_integer() else f"{int(value)}"
+        lines.append(f"{name.ljust(width)}  {shown}")
+    return "\n".join(lines)
