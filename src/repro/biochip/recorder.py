@@ -39,10 +39,43 @@ class ActuationRecorder:
         """The actuation vectors, shape ``(W, H, N)`` for ``N`` cycles.
 
         ``vectors()[i, j]`` is the paper's ``A_ij``.
+
+        .. warning:: This materializes a *dense* ``(W, H, N)`` byte array —
+           one byte per MC per cycle, e.g. ~1.4 GB for a 60x30 chip over
+           800k cycles.  Long-horizon consumers (lifetime studies, fleet
+           replays) should use :meth:`packed_vectors`, which stores the
+           same Boolean history bit-packed at 1/8th the memory and never
+           builds the dense stack.
         """
         if not self._frames:
             raise ValueError("nothing recorded yet")
         return np.stack(self._frames, axis=-1)
+
+    def packed_vectors(self) -> tuple[np.ndarray, int]:
+        """The actuation history bit-packed along the cycle axis.
+
+        Returns ``(packed, num_cycles)`` where ``packed`` has shape
+        ``(W, H, ceil(N / 8))`` and dtype ``uint8``: cycle ``n`` of MC
+        ``(i, j)`` is bit ``7 - (n % 8)`` of ``packed[i, j, n // 8]``
+        (``np.packbits`` big-endian bit order).  Built in 8-cycle chunks,
+        so peak extra memory is ``O(W * H * 8)`` regardless of ``N``.
+        Recover the dense form with :meth:`unpack_vectors`.
+        """
+        if not self._frames:
+            raise ValueError("nothing recorded yet")
+        n = len(self._frames)
+        packed = np.zeros((self.width, self.height, (n + 7) // 8),
+                          dtype=np.uint8)
+        for start in range(0, n, 8):
+            chunk = np.stack(self._frames[start:start + 8], axis=-1) != 0
+            packed[:, :, start // 8] = np.packbits(chunk, axis=-1)[:, :, 0]
+        return packed, n
+
+    @staticmethod
+    def unpack_vectors(packed: np.ndarray, num_cycles: int) -> np.ndarray:
+        """Invert :meth:`packed_vectors` back to a dense ``(W, H, N)``."""
+        dense = np.unpackbits(packed, axis=-1)
+        return dense[:, :, :num_cycles]
 
     def actuation_counts(self) -> np.ndarray:
         """Total actuations per MC over the recorded window."""

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs, perf
 from repro.biochip.chip import MedaChip
 from repro.biochip.recorder import ActuationRecorder
 from repro.biochip.trace import ExecutionTrace, TraceFrame
@@ -79,10 +80,35 @@ class MedaSimulator:
             raise ValueError("max_cycles must be positive")
         if (scheduler.width, scheduler.height) != (self.chip.width, self.chip.height):
             raise ValueError("scheduler and chip dimensions disagree")
+        with obs.span("assay", width=self.chip.width, height=self.chip.height,
+                      max_cycles=max_cycles):
+            obs.journal_event(
+                "run.start", width=self.chip.width, height=self.chip.height,
+                max_cycles=max_cycles, mos=len(scheduler.graph),
+                sensing_policy=self.sensing_policy,
+            )
+            return self._run(scheduler, max_cycles)
+
+    def _run(self, scheduler: HybridScheduler, max_cycles: int) -> ExecutionResult:
         start_actuations = self.chip.total_actuations
+        journaling = obs.journal() is not None
+        prev_health = self.chip.health() if journaling else None
         cycles = 0
         for cycles in range(1, max_cycles + 1):
+            perf.incr("simulator.steps")
             health = self.chip.health()
+            if journaling and prev_health is not None:
+                crossed = prev_health != health
+                if crossed.any():
+                    cells = np.argwhere(crossed)
+                    obs.journal_event(
+                        "degradation.crossing", cycle=scheduler.cycle + 1,
+                        cells=int(crossed.sum()),
+                        min_health=int(health.min()),
+                        sample=[(int(x) + 1, int(y) + 1)
+                                for x, y in cells[:8]],
+                    )
+                prev_health = health
             plan = scheduler.plan_cycle(health)
             if plan.failure is not None:
                 return self._result(scheduler, False, cycles - 1, plan.failure,
@@ -90,31 +116,47 @@ class MedaSimulator:
             if plan.complete:
                 return self._result(scheduler, True, cycles - 1, None,
                                     start_actuations)
-            actuation = actuation_matrix(
-                list(plan.targets.values()), self.chip.width, self.chip.height
-            )
-            self.chip.apply_actuation(actuation)
-            if self.sensing_policy == "full":
-                self.chip.apply_sensing(weight=self.sensing_weight)
-            elif self.sensing_policy == "selective":
-                self.chip.apply_sensing(
-                    scheduler.sensing_mask(), weight=self.sensing_weight
+            with obs.span("simulator.step", cycle=cycles,
+                          moving=len(plan.moves)):
+                actuation = actuation_matrix(
+                    list(plan.targets.values()), self.chip.width, self.chip.height
                 )
-            if self.recorder is not None:
-                self.recorder.record(actuation)
-            if self.trace is not None:
-                self.trace.record(TraceFrame(
-                    cycle=cycles,
-                    droplets=dict(scheduler.droplets),
-                    moving=tuple(sorted(plan.moves)),
-                    total_actuations=self.chip.total_actuations,
-                ))
-            field = MatrixForceField(self.chip.true_force())
-            moved = {}
-            for did, action_name in plan.moves.items():
-                rect = scheduler.droplets[did]
-                outcome = sample_outcome(rect, ACTIONS[action_name], field, self.rng)
-                moved[did] = outcome.delta
+                self.chip.apply_actuation(actuation)
+                if self.sensing_policy == "full":
+                    self.chip.apply_sensing(weight=self.sensing_weight)
+                elif self.sensing_policy == "selective":
+                    self.chip.apply_sensing(
+                        scheduler.sensing_mask(), weight=self.sensing_weight
+                    )
+                if self.recorder is not None:
+                    self.recorder.record(actuation)
+                if self.trace is not None:
+                    self.trace.record(TraceFrame(
+                        cycle=cycles,
+                        droplets=dict(scheduler.droplets),
+                        moving=tuple(sorted(plan.moves)),
+                        total_actuations=self.chip.total_actuations,
+                    ))
+                field = MatrixForceField(self.chip.true_force())
+                moved = {}
+                for did, action_name in plan.moves.items():
+                    rect = scheduler.droplets[did]
+                    outcome = sample_outcome(
+                        rect, ACTIONS[action_name], field, self.rng
+                    )
+                    moved[did] = outcome.delta
+                    perf.incr("simulator.transport_attempts")
+                    if outcome.delta != plan.targets[did]:
+                        # The droplet fell short of the asserted pattern —
+                        # a (possibly partial) transport failure caused by
+                        # degraded frontier MCs.
+                        perf.incr("simulator.transport_failures")
+                        obs.journal_event(
+                            "transport.failure", cycle=cycles, droplet=did,
+                            action=action_name,
+                            intended=plan.targets[did].as_tuple(),
+                            actual=outcome.delta.as_tuple(),
+                        )
             scheduler.apply_outcomes(moved)
             if scheduler.failure is not None:
                 return self._result(scheduler, False, cycles, scheduler.failure,
@@ -134,10 +176,17 @@ class MedaSimulator:
     ) -> ExecutionResult:
         if self.trace is not None:
             self.trace.events = list(scheduler.events)
-        return ExecutionResult(
+        result = ExecutionResult(
             success=success,
             cycles=cycles,
             failure=failure,
             resyntheses=scheduler.resyntheses,
             total_actuations=self.chip.total_actuations - start_actuations,
         )
+        obs.journal_event(
+            "run.end", cycle=cycles, cycles=cycles, success=success,
+            failure=failure, resyntheses=scheduler.resyntheses,
+            recoveries=scheduler.recoveries,
+            total_actuations=result.total_actuations,
+        )
+        return result

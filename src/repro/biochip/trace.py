@@ -26,15 +26,35 @@ class TraceFrame:
 
 @dataclass
 class ExecutionTrace:
-    """The full history of one execution."""
+    """The full history of one execution.
+
+    A per-droplet index is maintained incrementally so
+    :meth:`droplet_path` is O(len(path)) instead of a linear scan over
+    every frame — replay rendering of a long run asks for paths once per
+    droplet, which used to make it quadratic in run length.
+    """
 
     frames: list[TraceFrame] = field(default_factory=list)
     events: list[MOEvent] = field(default_factory=list)
+    _paths: dict[int, list[tuple[int, Rect]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        # Frames handed to the constructor directly (tests, loaders) must
+        # populate the index the same way record() does.
+        for frame in self.frames:
+            self._index(frame)
+
+    def _index(self, frame: TraceFrame) -> None:
+        for droplet_id, rect in frame.droplets.items():
+            self._paths.setdefault(droplet_id, []).append((frame.cycle, rect))
 
     def record(self, frame: TraceFrame) -> None:
         if self.frames and frame.cycle <= self.frames[-1].cycle:
             raise ValueError("trace frames must have increasing cycle numbers")
         self.frames.append(frame)
+        self._index(frame)
 
     @property
     def num_cycles(self) -> int:
@@ -42,11 +62,11 @@ class ExecutionTrace:
 
     def droplet_path(self, droplet_id: int) -> list[tuple[int, Rect]]:
         """The (cycle, pattern) history of one droplet."""
-        return [
-            (f.cycle, f.droplets[droplet_id])
-            for f in self.frames
-            if droplet_id in f.droplets
-        ]
+        return list(self._paths.get(droplet_id, ()))
+
+    def droplet_ids(self) -> list[int]:
+        """Every droplet id that ever appeared in a frame."""
+        return sorted(self._paths)
 
     def max_concurrent_droplets(self) -> int:
         """Peak droplet concurrency over the execution."""

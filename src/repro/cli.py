@@ -4,7 +4,9 @@ Commands:
 
 * ``list`` — the bioassay suite with op counts;
 * ``run`` — execute a bioassay on a sampled chip and print the outcome
-  (optionally the wear heatmap);
+  (optionally the wear heatmap); ``--trace``/``--journal``/``--perf``
+  switch on the :mod:`repro.obs` telemetry;
+* ``report`` — summarize a run journal written by ``run --journal``;
 * ``synth`` — synthesize a single routing job and print the route map;
 * ``degradation`` — print the D(n)/H(n) lifetime table for given (tau, c).
 """
@@ -30,6 +32,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro import obs, perf
     from repro.analysis.render import render_degradation
     from repro.bioassay.library import ALL_BIOASSAYS
     from repro.bioassay.planner import plan
@@ -58,19 +61,56 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         router = BaselineRouter(args.width, args.height)
 
+    tracer, _ = obs.configure(
+        tracing=args.trace is not None,
+        journal=args.journal,
+    )
+
     total_failures = 0
-    for run_idx in range(args.runs):
-        scheduler = HybridScheduler(graph, router, args.width, args.height)
-        sim = MedaSimulator(chip, np.random.default_rng(args.seed + 1 + run_idx))
-        result = sim.run(scheduler, max_cycles=args.max_cycles)
-        status = "ok" if result.success else f"FAILED ({result.failure})"
-        print(f"run {run_idx + 1}: {status:24s} cycles={result.cycles:4d} "
-              f"replans={result.resyntheses}")
-        total_failures += 0 if result.success else 1
+    try:
+        for run_idx in range(args.runs):
+            obs.journal_event("cli.run", run=run_idx + 1,
+                              bioassay=args.bioassay, router=args.router,
+                              seed=args.seed)
+            scheduler = HybridScheduler(graph, router, args.width, args.height)
+            sim = MedaSimulator(chip,
+                                np.random.default_rng(args.seed + 1 + run_idx))
+            result = sim.run(scheduler, max_cycles=args.max_cycles)
+            status = "ok" if result.success else f"FAILED ({result.failure})"
+            print(f"run {run_idx + 1}: {status:24s} cycles={result.cycles:4d} "
+                  f"replans={result.resyntheses}")
+            total_failures += 0 if result.success else 1
+    finally:
+        if tracer is not None and args.trace is not None:
+            spans_path = args.trace + ".spans.jsonl"
+            tracer.export_chrome(args.trace)
+            tracer.export_jsonl(spans_path)
+            print(f"trace: {args.trace} (Chrome/Perfetto), {spans_path} "
+                  f"(span JSONL)")
+        if args.journal is not None:
+            print(f"journal: {args.journal} "
+                  f"(summarize with `python -m repro report {args.journal}`)")
+        obs.shutdown()
+    if args.perf:
+        print("\nperf counters:")
+        print(perf.report())
     if args.show_wear:
         print("\nchip wear (light = healthy, dense = degraded):")
         print(render_degradation(chip.degradation()))
     return 1 if total_failures else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.journal import read_journal
+    from repro.obs.report import format_report, summarize_journal
+
+    try:
+        records = read_journal(args.journal)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read journal: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(summarize_journal(records)))
+    return 0
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
@@ -164,7 +204,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--c-max", type=float, default=500.0)
     run.add_argument("--show-wear", action="store_true",
                      help="print the chip wear heatmap afterwards")
+    run.add_argument("--perf", action="store_true",
+                     help="print the perf counter/histogram report afterwards")
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="write a Chrome trace_event file (open in Perfetto) "
+                          "plus a PATH.spans.jsonl span log")
+    run.add_argument("--journal", metavar="PATH", default=None,
+                     help="write the run journal (JSONL) to PATH")
     run.set_defaults(func=_cmd_run)
+
+    rep = sub.add_parser(
+        "report", help="summarize a run journal written by `run --journal`"
+    )
+    rep.add_argument("journal", help="path to the journal JSONL file")
+    rep.set_defaults(func=_cmd_report)
 
     synth = sub.add_parser("synth", help="synthesize one routing job")
     synth.add_argument("--start", type=int, nargs=2, default=(3, 3),

@@ -20,10 +20,16 @@ from typing import Protocol
 
 import numpy as np
 
-from repro import perf
+from repro import obs, perf
 from repro.core.actions import DEFAULT_MAX_ASPECT
 from repro.core.routing_job import RoutingJob
-from repro.core.strategy import RoutingStrategy, StrategyLibrary, strategy_from_synthesis
+from repro.core.strategy import (
+    RoutingStrategy,
+    StrategyLibrary,
+    fingerprint_digest,
+    health_fingerprint,
+    strategy_from_synthesis,
+)
 from repro.core.synthesis import (
     SYNTHESIS_EPSILON,
     baseline_field,
@@ -74,30 +80,50 @@ class AdaptiveRouter:
         self.synthesis_seconds = 0.0
 
     def plan(self, job: RoutingJob, health: np.ndarray) -> RoutingStrategy | None:
-        cached = self.library.get(job, health)
-        if cached is not None:
-            return cached
-        # A library miss on a previously solved job means the zone health
-        # changed; seed value iteration from the last fixpoint (sound for
-        # the default Rmin query — synthesize ignores the seed otherwise).
-        result = synthesize(
-            job,
-            health,
-            bits=self.bits,
-            query=self.query,
-            max_aspect=self.max_aspect,
-            pessimistic=self.pessimistic,
-            epsilon=self.epsilon,
-            warm_values=self.library.warm_start(job),
-        )
-        self.syntheses += 1
-        self.synthesis_seconds += result.total_time
-        perf.incr("router.adaptive.syntheses")
-        perf.add_time("router.adaptive.synthesis_seconds", result.total_time)
-        strategy = strategy_from_synthesis(job, result)
-        if strategy is not None:
-            self.library.put(job, health, strategy)
-        return strategy
+        with obs.span("rj.plan", job=job.key()) as rj_span:
+            cached = self.library.get(job, health)
+            if cached is not None:
+                rj_span.set(cache="hit")
+                return cached
+            # A library miss on a previously solved job means the zone health
+            # changed; seed value iteration from the last fixpoint (sound for
+            # the default Rmin query — synthesize ignores the seed otherwise).
+            warm_values = self.library.warm_start(job)
+            rj_span.set(
+                cache="miss",
+                warm=warm_values is not None,
+                health_fp=fingerprint_digest(
+                    health_fingerprint(health, job.hazard)
+                ),
+            )
+            result = synthesize(
+                job,
+                health,
+                bits=self.bits,
+                query=self.query,
+                max_aspect=self.max_aspect,
+                pessimistic=self.pessimistic,
+                epsilon=self.epsilon,
+                warm_values=warm_values,
+            )
+            self.syntheses += 1
+            self.synthesis_seconds += result.total_time
+            perf.incr("router.adaptive.syntheses")
+            perf.add_time("router.adaptive.synthesis_seconds", result.total_time)
+            obs.journal_event(
+                "synthesis",
+                router="adaptive",
+                job=job.key(),
+                ms=result.total_time * 1e3,
+                construct_ms=result.construction_time * 1e3,
+                solve_ms=result.solve_time * 1e3,
+                warm=warm_values is not None,
+                exists=result.exists,
+            )
+            strategy = strategy_from_synthesis(job, result)
+            if strategy is not None:
+                self.library.put(job, health, strategy)
+            return strategy
 
 
 class BaselineRouter:
@@ -130,15 +156,26 @@ class BaselineRouter:
         key = job.key()
         if key in self._cache:
             return self._cache[key]
-        result = synthesize_with_field(
-            job,
-            baseline_field(self.width, self.height),
-            max_aspect=self.max_aspect,
-            epsilon=self.epsilon,
-        )
+        with obs.span("rj.plan", job=key, cache="miss"):
+            result = synthesize_with_field(
+                job,
+                baseline_field(self.width, self.height),
+                max_aspect=self.max_aspect,
+                epsilon=self.epsilon,
+            )
         self.syntheses += 1
         self.synthesis_seconds += result.total_time
         perf.incr("router.baseline.syntheses")
+        obs.journal_event(
+            "synthesis",
+            router="baseline",
+            job=key,
+            ms=result.total_time * 1e3,
+            construct_ms=result.construction_time * 1e3,
+            solve_ms=result.solve_time * 1e3,
+            warm=False,
+            exists=result.exists,
+        )
         strategy = strategy_from_synthesis(job, result)
         self._cache[key] = strategy
         return strategy
@@ -202,11 +239,22 @@ class ReactiveRouter:
         """
         self.recoveries += 1
         perf.incr("router.reactive.recoveries")
-        result = synthesize(
-            job, health, bits=self.bits, max_aspect=self.max_aspect,
-            epsilon=self.epsilon,
-        )
+        with obs.span("rj.recover", job=job.key()):
+            result = synthesize(
+                job, health, bits=self.bits, max_aspect=self.max_aspect,
+                epsilon=self.epsilon,
+            )
         self._recovery_seconds += result.total_time
+        obs.journal_event(
+            "synthesis",
+            router="reactive-recover",
+            job=job.key(),
+            ms=result.total_time * 1e3,
+            construct_ms=result.construction_time * 1e3,
+            solve_ms=result.solve_time * 1e3,
+            warm=False,
+            exists=result.exists,
+        )
         strategy = strategy_from_synthesis(job, result)
         if strategy is not None:
             return strategy

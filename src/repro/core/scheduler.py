@@ -25,14 +25,18 @@ from enum import Enum
 
 import numpy as np
 
-from repro import perf
+from repro import obs, perf
 from repro.bioassay.ops import MOType
 from repro.bioassay.seqgraph import SequencingGraph
 from repro.core.actions import ACTIONS, apply_action
 from repro.core.baseline import Router
 from repro.core.droplet import fit_droplet_shape
 from repro.core.routing_job import DecomposedMO, RJHelper, RoutingJob, zone
-from repro.core.strategy import RoutingStrategy, health_fingerprint
+from repro.core.strategy import (
+    RoutingStrategy,
+    fingerprint_digest,
+    health_fingerprint,
+)
 from repro.geometry.rect import Rect, rect_from_center
 
 
@@ -64,6 +68,8 @@ class RoutingTask:
     replan_at: int | None = None
     last_rect: Rect | None = None
     stagnant: int = 0
+    created_cycle: int = 0
+    span: "obs.Span | None" = None
 
 
 @dataclass(frozen=True)
@@ -102,6 +108,7 @@ class _MOState:
     dispense_remaining: int = 0
     activated_cycle: int = -1
     done_cycle: int = -1
+    span: "obs.Span | None" = None
 
 
 class HybridScheduler:
@@ -186,6 +193,10 @@ class HybridScheduler:
         """Plan one operational cycle against the sensed health matrix."""
         self.cycle += 1
         perf.incr("scheduler.cycles")
+        with obs.span("scheduler.cycle", cycle=self.cycle):
+            return self._plan_cycle(health)
+
+    def _plan_cycle(self, health: np.ndarray) -> CyclePlan:
         if self.failure or self.complete:
             return CyclePlan({}, {}, failure=self.failure, complete=self.complete)
         self._activate_ready(health)
@@ -240,6 +251,34 @@ class HybridScheduler:
             self.droplets[did] = rect
         self._resolve_intended_merges()
         self._check_unintended_merges()
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _event(self, kind: str, mo: str, **fields) -> None:
+        """Record an MO lifecycle event (trace list + run journal)."""
+        self.events.append(MOEvent(self.cycle, mo, kind))
+        obs.journal_event(f"mo.{kind}", cycle=self.cycle, mo=mo, **fields)
+
+    def _new_task(
+        self, did: int, job: RoutingJob, state: _MOState
+    ) -> RoutingTask:
+        """Create a routing task, opening its RJ span under the MO span."""
+        task = RoutingTask(did, job, created_cycle=self.cycle)
+        task.span = obs.begin_span(
+            "rj", parent=state.span, droplet=did, job=job.key(),
+            start_cycle=self.cycle,
+        )
+        return task
+
+    def _task_arrived(self, task: RoutingTask) -> None:
+        """First arrival at the goal: close the RJ span, record the length."""
+        task.arrived = True
+        perf.observe("scheduler.route_cycles",
+                     self.cycle - task.created_cycle,
+                     bounds=perf.DEFAULT_COUNT_BUCKETS)
+        if task.span is not None:
+            obs.end_span(task.span, end_cycle=self.cycle)
+            task.span = None
 
     # -- droplet bookkeeping ---------------------------------------------------
 
@@ -407,7 +446,11 @@ class HybridScheduler:
     def _activate(self, name: str, state: _MOState, health: np.ndarray) -> None:
         mo = self.graph.mo(name)
         state.activated_cycle = self.cycle
-        self.events.append(MOEvent(self.cycle, name, "activated"))
+        state.span = obs.begin_span(
+            f"mo:{name}", mo=name, type=mo.type.name.lower(),
+            start_cycle=self.cycle,
+        )
+        self._event("activated", name, type=mo.type.name.lower())
         dec = state.decomposed
         if mo.type is MOType.DIS:
             state.phase = MOPhase.OPERATING
@@ -419,7 +462,7 @@ class HybridScheduler:
             job = self._with_obstacles(
                 self._fit_job(dec.jobs[0], self.droplets[did]), name
             )
-            state.tasks = [RoutingTask(did, job)]
+            state.tasks = [self._new_task(did, job, state)]
             state.stage = "route_in"
             state.phase = MOPhase.ROUTING
             return
@@ -427,17 +470,20 @@ class HybridScheduler:
             did0 = self._consume(name, name, 0)
             did1 = self._consume(name, name, 1)
             state.tasks = [
-                RoutingTask(did0, self._with_obstacles(
-                    self._fit_job(dec.jobs[0], self.droplets[did0]), name)),
-                RoutingTask(did1, self._with_obstacles(
-                    self._fit_job(dec.jobs[1], self.droplets[did1]), name)),
+                self._new_task(did0, self._with_obstacles(
+                    self._fit_job(dec.jobs[0], self.droplets[did0]), name),
+                    state),
+                self._new_task(did1, self._with_obstacles(
+                    self._fit_job(dec.jobs[1], self.droplets[did1]), name),
+                    state),
             ]
             state.stage = "route_in"
             state.phase = MOPhase.ROUTING
             return
         if mo.type is MOType.SPT:
             did = self._consume(name, name, 0)
-            state.tasks = [RoutingTask(did, self._hold_job(self.droplets[did]))]
+            state.tasks = [RoutingTask(did, self._hold_job(self.droplets[did]),
+                                       created_cycle=self.cycle)]
             state.tasks[0].arrived = True
             state.stage = "splitting"
             state.phase = MOPhase.OPERATING
@@ -486,7 +532,8 @@ class HybridScheduler:
     STALL_RETRY_CYCLES = 8
 
     def _plan_task(
-        self, task: RoutingTask, health: np.ndarray, rect: Rect
+        self, task: RoutingTask, health: np.ndarray, rect: Rect,
+        mo: str | None = None,
     ) -> bool:
         """Plan or replan a task's strategy; returns False when stalled.
 
@@ -513,6 +560,13 @@ class HybridScheduler:
                 if self.router.plan(unblocked, health) is not None:
                     task.strategy = None
                     task.stalled_until = self.cycle + self.STALL_RETRY_CYCLES
+                    perf.incr("scheduler.stalls")
+                    obs.journal_event(
+                        "droplet.stall", cycle=self.cycle, mo=mo,
+                        droplet=task.droplet_id,
+                        retry_at=task.stalled_until,
+                        reason="obstacle-blocked",
+                    )
                     return False
             self.failure = "no-route"
             return False
@@ -528,75 +582,93 @@ class HybridScheduler:
         targets: dict[int, Rect],
         moves: dict[int, str],
     ) -> None:
-        for task in state.tasks:
-            if task.droplet_id not in self.droplets:
-                continue
-            rect = self.droplets[task.droplet_id]
-            if task.arrived or task.job.goal.contains(rect):
-                task.arrived = True
-                targets[task.droplet_id] = rect
-                continue
-            if task.strategy is None and self.cycle < task.stalled_until:
-                targets[task.droplet_id] = rect  # hold; retry later
-                continue
-            if rect == task.last_rect:
-                task.stagnant += 1
-            else:
-                task.last_rect = rect
-                task.stagnant = 0
-            recover = getattr(self.router, "recover", None)
-            if (
-                recover is not None
-                and task.stagnant >= self.stall_recovery_threshold
-            ):
-                task.stagnant = 0
-                retargeted = self._with_obstacles(
-                    self._fit_job(task.job, rect), name
-                )
-                recovered = recover(retargeted, health)
-                if recovered is not None and recovered.action(rect) is not None:
-                    task.job = recovered.job  # the recovery may widen the zone
-                    task.strategy = recovered
-                    task.fingerprint = health_fingerprint(
-                        health, retargeted.hazard
+        with obs.under(state.span):
+            for task in state.tasks:
+                if task.droplet_id not in self.droplets:
+                    continue
+                rect = self.droplets[task.droplet_id]
+                if task.arrived or task.job.goal.contains(rect):
+                    if not task.arrived:
+                        self._task_arrived(task)
+                    targets[task.droplet_id] = rect
+                    continue
+                if task.strategy is None and self.cycle < task.stalled_until:
+                    targets[task.droplet_id] = rect  # hold; retry later
+                    continue
+                if rect == task.last_rect:
+                    task.stagnant += 1
+                else:
+                    task.last_rect = rect
+                    task.stagnant = 0
+                recover = getattr(self.router, "recover", None)
+                if (
+                    recover is not None
+                    and task.stagnant >= self.stall_recovery_threshold
+                ):
+                    task.stagnant = 0
+                    retargeted = self._with_obstacles(
+                        self._fit_job(task.job, rect), name
                     )
-                    self.recoveries += 1
-                    perf.incr("scheduler.recoveries")
-                    self.events.append(MOEvent(self.cycle, name, "recovered"))
-            if self.router.adaptive and task.strategy is not None:
-                fp = health_fingerprint(health, task.job.hazard)
-                if fp != task.fingerprint and task.replan_at is None:
-                    task.replan_at = self.cycle + self.resynthesis_latency
-                if task.replan_at is not None and self.cycle >= task.replan_at:
-                    task.replan_at = None
-                    self.resyntheses += 1
-                    perf.incr("scheduler.resyntheses")
-                    if not self._plan_task(task, health, rect):
+                    recovered = recover(retargeted, health)
+                    if recovered is not None and recovered.action(rect) is not None:
+                        task.job = recovered.job  # the recovery may widen the zone
+                        task.strategy = recovered
+                        task.fingerprint = health_fingerprint(
+                            health, retargeted.hazard
+                        )
+                        self.recoveries += 1
+                        perf.incr("scheduler.recoveries")
+                        self._event("recovered", name,
+                                    droplet=task.droplet_id)
+                if self.router.adaptive and task.strategy is not None:
+                    fp = health_fingerprint(health, task.job.hazard)
+                    if fp != task.fingerprint and task.replan_at is None:
+                        task.replan_at = self.cycle + self.resynthesis_latency
+                    if task.replan_at is not None and self.cycle >= task.replan_at:
+                        task.replan_at = None
+                        self.resyntheses += 1
+                        perf.incr("scheduler.resyntheses")
+                        fp_before = task.fingerprint
+                        replanned = self._plan_task(task, health, rect, mo=name)
+                        obs.journal_event(
+                            "resynthesis", cycle=self.cycle, mo=name,
+                            droplet=task.droplet_id,
+                            fp_before=fingerprint_digest(fp_before),
+                            fp_after=fingerprint_digest(task.fingerprint),
+                            latency_cycles=self.resynthesis_latency,
+                            success=replanned,
+                        )
+                        if not replanned:
+                            targets[task.droplet_id] = rect
+                            if self.failure:
+                                return
+                            continue
+                if task.strategy is None:
+                    if not self._plan_task(task, health, rect, mo=name):
                         targets[task.droplet_id] = rect
                         if self.failure:
                             return
                         continue
-            if task.strategy is None:
-                if not self._plan_task(task, health, rect):
-                    targets[task.droplet_id] = rect
-                    if self.failure:
-                        return
-                    continue
-            assert task.strategy is not None
-            action_name = task.strategy.action(rect)
-            if action_name is None:
-                if not self._plan_task(task, health, rect):
-                    targets[task.droplet_id] = rect
-                    if self.failure:
-                        return
-                    continue
                 assert task.strategy is not None
                 action_name = task.strategy.action(rect)
                 if action_name is None:
-                    self.failure = "no-route"
-                    return
-            moves[task.droplet_id] = action_name
-            targets[task.droplet_id] = apply_action(rect, ACTIONS[action_name])
+                    if not self._plan_task(task, health, rect, mo=name):
+                        targets[task.droplet_id] = rect
+                        if self.failure:
+                            return
+                        continue
+                    assert task.strategy is not None
+                    action_name = task.strategy.action(rect)
+                    if action_name is None:
+                        self.failure = "no-route"
+                        return
+                moves[task.droplet_id] = action_name
+                targets[task.droplet_id] = apply_action(rect, ACTIONS[action_name])
+                if obs.enabled():
+                    with obs.span("route.step", parent=task.span,
+                                  droplet=task.droplet_id,
+                                  action=action_name, cycle=self.cycle):
+                        pass
         self._maybe_advance_routing(name, state)
 
     def _maybe_advance_routing(self, name: str, state: _MOState) -> None:
@@ -638,10 +710,18 @@ class HybridScheduler:
     def _finish(self, name: str, state: _MOState, outputs: tuple[int, ...]) -> None:
         for slot, did in enumerate(outputs):
             self._park(name, slot, did)
+        for task in state.tasks:
+            if task.span is not None:
+                obs.end_span(task.span, end_cycle=self.cycle)
+                task.span = None
         state.tasks = []
         state.phase = MOPhase.DONE
         state.done_cycle = self.cycle
-        self.events.append(MOEvent(self.cycle, name, "done"))
+        self._event("done", name,
+                    cycles=self.cycle - state.activated_cycle)
+        if state.span is not None:
+            obs.end_span(state.span, end_cycle=self.cycle)
+            state.span = None
 
     # -- operate phase ---------------------------------------------------------------
 
@@ -699,11 +779,13 @@ class HybridScheduler:
             job = dec.jobs[job_index]
             did = self._new_droplet(job.start, name, volume=volume / 2,
                                     concentration=concentration)
-            tasks.append(RoutingTask(did, self._with_obstacles(job, name)))
+            tasks.append(self._new_task(
+                did, self._with_obstacles(job, name), state
+            ))
         state.tasks = tasks
         state.stage = "route_out"
         state.phase = MOPhase.ROUTING
-        self.events.append(MOEvent(self.cycle, name, "split"))
+        self._event("split", name, droplets=[t.droplet_id for t in tasks])
 
     # -- merge resolution ------------------------------------------------------------
 
@@ -744,9 +826,12 @@ class HybridScheduler:
         concentration = (v0 * c0 + v1 * c1) / volume if volume else 0.0
         for task in tasks:
             self._remove_droplet(task.droplet_id)
+            if task.span is not None:
+                obs.end_span(task.span, end_cycle=self.cycle)
+                task.span = None
         did = self._new_droplet(merged, name, volume=volume,
                                 concentration=concentration)
-        self.events.append(MOEvent(self.cycle, name, "merged"))
+        self._event("merged", name, droplet=did)
         if mo.type is MOType.MIX:
             goal = dec.output_patterns[0]
         else:
@@ -756,7 +841,7 @@ class HybridScheduler:
             RoutingJob(merged, goal, zone(merged, goal, self.width, self.height)),
             name,
         )
-        state.tasks = [RoutingTask(did, job)]
+        state.tasks = [self._new_task(did, job, state)]
         state.stage = "route_merged"
 
     def _place_on_chip(self, cx: float, cy: float, shape: tuple[int, int]) -> Rect:
@@ -775,6 +860,10 @@ class HybridScheduler:
                     continue  # same-MO pairs are managed by the MO itself
                 if r0.adjacent_or_overlapping(r1):
                     self.failure = "unintended-merge"
+                    obs.journal_event(
+                        "failure", cycle=self.cycle,
+                        reason="unintended-merge", droplets=[did0, did1],
+                    )
                     return
 
     # -- statistics ---------------------------------------------------------------

@@ -58,6 +58,20 @@ def health_fingerprint(health: np.ndarray, zone: Rect) -> bytes:
     return np.ascontiguousarray(sub).tobytes()
 
 
+def fingerprint_digest(fingerprint: bytes | None) -> str | None:
+    """A short stable hex digest of a health fingerprint, for telemetry.
+
+    Raw fingerprints are zone-sized byte blobs; journal records and span
+    attributes carry this 12-hex-char digest instead so "did the health
+    change" stays answerable without bloating the logs.
+    """
+    if fingerprint is None:
+        return None
+    import hashlib
+
+    return hashlib.sha1(fingerprint).hexdigest()[:12]
+
+
 @dataclass
 class StrategyLibrary:
     """The offline/online strategy cache of the hybrid scheduler.

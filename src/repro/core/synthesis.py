@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import perf
+from repro import obs, perf
 from repro.core.actions import DEFAULT_MAX_ASPECT, ActionClass
 from repro.core.fastmdp import (
     CompiledRoutingModel,
@@ -152,17 +152,18 @@ def synthesize_with_field(
     perf.incr("synthesis.count")
 
     t0 = time.perf_counter()
-    forces = _force_matrix(field)
-    if forces is not None:
-        model: RoutingModel | CompiledRoutingModel = build_routing_model_fast(
-            job, forces, max_aspect=max_aspect, families=families
-        )
-        compiled = model.compiled
-    else:
-        model = build_routing_mdp(
-            job, field, max_aspect=max_aspect, families=families
-        )
-        compiled = compile_mdp(model.mdp)
+    with obs.span("synthesis.construct", job=job.key()):
+        forces = _force_matrix(field)
+        if forces is not None:
+            model: RoutingModel | CompiledRoutingModel = build_routing_model_fast(
+                job, forces, max_aspect=max_aspect, families=families
+            )
+            compiled = model.compiled
+        else:
+            model = build_routing_mdp(
+                job, field, max_aspect=max_aspect, families=families
+            )
+            compiled = compile_mdp(model.mdp)
     t1 = time.perf_counter()
 
     initial_values: np.ndarray | None = None
@@ -180,30 +181,38 @@ def synthesize_with_field(
         )
         perf.incr("synthesis.warm_seeded")
 
-    if query.objective in (Objective.RMIN, Objective.RMAX):
-        result = solve_reach_avoid_reward(
-            compiled,
-            goal=query.formula.goal_label,
-            avoid=query.formula.avoid_label,
-            minimize=query.objective is Objective.RMIN,
-            epsilon=epsilon,
-            initial_values=initial_values,
-        )
-        expected = float(result.values[compiled.initial])
-        probability = None
-    else:
-        result = solve_reach_avoid_probability(
-            compiled,
-            goal=query.formula.goal_label,
-            avoid=query.formula.avoid_label,
-            maximize=query.objective is Objective.PMAX,
-            epsilon=epsilon,
-        )
-        probability = float(result.values[compiled.initial])
-        expected = float("inf") if probability == 0.0 else float("nan")
+    with obs.span("synthesis.solve", states=compiled.num_states,
+                  warm=initial_values is not None) as solve_span:
+        if query.objective in (Objective.RMIN, Objective.RMAX):
+            result = solve_reach_avoid_reward(
+                compiled,
+                goal=query.formula.goal_label,
+                avoid=query.formula.avoid_label,
+                minimize=query.objective is Objective.RMIN,
+                epsilon=epsilon,
+                initial_values=initial_values,
+            )
+            expected = float(result.values[compiled.initial])
+            probability = None
+        else:
+            result = solve_reach_avoid_probability(
+                compiled,
+                goal=query.formula.goal_label,
+                avoid=query.formula.avoid_label,
+                maximize=query.objective is Objective.PMAX,
+                epsilon=epsilon,
+            )
+            probability = float(result.values[compiled.initial])
+            expected = float("inf") if probability == 0.0 else float("nan")
+        solve_span.set(iterations=result.iterations)
     t2 = time.perf_counter()
     perf.add_time("synthesis.construct_seconds", t1 - t0)
     perf.add_time("synthesis.solve_seconds", t2 - t1)
+    perf.observe("synthesis.construct_ms", (t1 - t0) * 1e3)
+    perf.observe("synthesis.solve_ms", (t2 - t1) * 1e3)
+    perf.observe("synthesis.total_ms", (t2 - t0) * 1e3)
+    perf.observe("synthesis.vi_iterations", result.iterations,
+                 bounds=perf.DEFAULT_COUNT_BUCKETS)
 
     if isinstance(model, CompiledRoutingModel):
         strategy: MemorylessStrategy | None = extract_fast_strategy(model, result)

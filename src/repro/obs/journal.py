@@ -1,0 +1,114 @@
+"""The run journal: a structured JSONL event log of one bioassay execution.
+
+Where spans answer "where did the time go", the journal answers "what
+happened": MO lifecycle transitions, resynthesis triggers with the health
+fingerprints before/after, droplet stalls and recoveries, transport
+failures, degradation-bucket crossings.  Each record is one JSON object
+per line::
+
+    {"seq": 17, "event": "resynthesis", "cycle": 42, "mo": "mix1", ...}
+
+``seq`` is a journal-wide monotone sequence number (events without a cycle
+— e.g. synthesis latencies reported by the router — still order totally);
+``cycle`` is the scheduler's operational cycle when known.
+
+Sinks are pluggable: a filesystem path (JSONL file, flushed per event so a
+crashed run still leaves a readable journal), any writable text stream, a
+callable receiving each record dict, or ``None`` for an in-memory journal
+(the default; inspect via :attr:`RunJournal.records`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Callable, Iterable, TextIO
+
+from repro.obs.tracing import jsonable
+
+
+class RunJournal:
+    """An append-only, sink-pluggable event log."""
+
+    def __init__(
+        self,
+        sink: "str | Path | TextIO | Callable[[dict], None] | None" = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._records: list[dict[str, Any]] = []
+        self._fh: TextIO | None = None
+        self._owns_fh = False
+        self._callback: Callable[[dict], None] | None = None
+        if sink is None:
+            pass  # in-memory only
+        elif callable(sink):
+            self._callback = sink
+        elif isinstance(sink, (str, Path)):
+            self._fh = open(sink, "w", encoding="utf-8")
+            self._owns_fh = True
+        else:
+            self._fh = sink
+
+    def emit(self, event: str, cycle: int | None = None, **fields: Any) -> None:
+        """Append one event record and forward it to the sink."""
+        with self._lock:
+            self._seq += 1
+            record: dict[str, Any] = {"seq": self._seq, "event": event}
+            if cycle is not None:
+                record["cycle"] = int(cycle)
+            for key, value in fields.items():
+                record[key] = jsonable(value)
+            self._records.append(record)
+            if self._fh is not None:
+                self._fh.write(json.dumps(record) + "\n")
+                self._fh.flush()
+            elif self._callback is not None:
+                self._callback(record)
+
+    @property
+    def records(self) -> list[dict[str, Any]]:
+        """Every record emitted so far (kept even with a file sink)."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None and self._owns_fh:
+                self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_journal(path: "str | Path") -> list[dict[str, Any]]:
+    """Parse a JSONL journal file back into record dicts."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: not a JSON record: {exc}"
+                ) from exc
+    return records
+
+
+def iter_events(
+    records: Iterable[dict[str, Any]], event: str
+) -> list[dict[str, Any]]:
+    """The subset of ``records`` with the given event name."""
+    return [r for r in records if r.get("event") == event]

@@ -1,0 +1,263 @@
+"""Typed metric instruments: counters, gauges, fixed-bucket histograms.
+
+:mod:`repro.perf` grew out of a flat ``dict`` of sums; that is enough for
+"how much total solve time", but adaptivity questions (Sec. VI-D) need
+*distributions*: is the p99 per-RJ synthesis latency inside the cycle
+budget, how many VI iterations does a warm-started resynthesis really take,
+how long are routed paths.  This module supplies the three instrument types
+and the registry that :mod:`repro.perf` now fronts:
+
+* :class:`Counter` — a monotone event count (``incr``);
+* :class:`Gauge` — a last-write-wins level (``set``);
+* :class:`Histogram` — fixed upper-bound buckets with count/sum/min/max and
+  interpolated quantiles (``observe``).
+
+Instruments are cheap enough to stay enabled everywhere (an ``observe`` is
+a bisect plus a few scalar updates); they carry no wall-clock state and are
+process-global like the old counter dict.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Iterable
+
+#: Default bucket upper bounds for latency histograms, in milliseconds.
+#: Roughly exponential from 50us to 10s — per-RJ synthesis on the
+#: evaluation chip sits in the 1-100ms decades (Table V).
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
+#: Default buckets for small nonnegative integer quantities (iteration
+#: counts, route lengths in cycles).
+DEFAULT_COUNT_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096,
+)
+
+
+class Counter:
+    """A monotone event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def add(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins level (queue depths, library sizes, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A fixed-bucket histogram with interpolated quantiles.
+
+    ``bounds`` are the inclusive upper bounds of the finite buckets; one
+    implicit overflow bucket catches everything above ``bounds[-1]``.
+    Quantiles are estimated by linear interpolation inside the bucket that
+    holds the target rank (the Prometheus ``histogram_quantile`` scheme)
+    and then clamped to the observed ``[min, max]`` — so a histogram with a
+    single observation reports that exact value at every quantile, and the
+    overflow bucket reports the observed maximum rather than infinity.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str, bounds: Iterable[float]) -> None:
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        # One slot per finite bucket plus the overflow bucket.
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """The interpolated ``q``-quantile (``0 <= q <= 1``) of the data.
+
+        Returns NaN for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        cum = 0.0
+        lo = 0.0
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            if bucket_count and cum + bucket_count >= rank:
+                frac = max(rank - cum, 0.0) / bucket_count
+                value = lo + (bound - lo) * frac
+                return min(max(value, self.min), self.max)
+            cum += bucket_count
+            lo = bound
+        return self.max  # rank falls in the overflow bucket
+
+    def percentiles(self, qs: Iterable[float] = (0.5, 0.9, 0.99)) -> dict[str, float]:
+        """``{"p50": ..., "p90": ..., "p99": ...}`` for the given quantiles."""
+        return {f"p{round(q * 100)}": self.quantile(q) for q in qs}
+
+    def summary(self) -> dict[str, float]:
+        """count/sum/min/max/mean plus p50/p90/p99, for reports and JSON."""
+        out: dict[str, float] = {
+            "count": float(self.count),
+            "sum": self.sum,
+            "min": self.min if self.count else math.nan,
+            "max": self.max if self.count else math.nan,
+            "mean": self.mean,
+        }
+        out.update(self.percentiles())
+        return out
+
+
+class MetricsRegistry:
+    """A process-global, lock-guarded set of named instruments.
+
+    Names are namespaced per instrument type: registering ``foo`` as both a
+    counter and a histogram is an error (it would make ``snapshot`` output
+    ambiguous).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, kind: str) -> None:
+        for other_kind, table in (("counter", self._counters),
+                                  ("gauge", self._gauges),
+                                  ("histogram", self._histograms)):
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other_kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                self._check_free(name, "counter")
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                self._check_free(name, "gauge")
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(
+        self, name: str, bounds: Iterable[float] | None = None
+    ) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                self._check_free(name, "histogram")
+                instrument = self._histograms[name] = Histogram(
+                    name, bounds if bounds is not None
+                    else DEFAULT_LATENCY_BUCKETS_MS
+                )
+            return instrument
+
+    # -- bulk operations (hold the lock once) --------------------------------
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                self._check_free(name, "counter")
+                instrument = self._counters[name] = Counter(name)
+            instrument.add(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                self._check_free(name, "gauge")
+                instrument = self._gauges[name] = Gauge(name)
+            instrument.set(value)
+
+    def observe(
+        self, name: str, value: float,
+        bounds: Iterable[float] | None = None,
+    ) -> None:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                self._check_free(name, "histogram")
+                instrument = self._histograms[name] = Histogram(
+                    name, bounds if bounds is not None
+                    else DEFAULT_LATENCY_BUCKETS_MS
+                )
+            instrument.observe(value)
+
+    # -- introspection --------------------------------------------------------
+
+    def get(self, name: str, default: float = 0) -> float:
+        with self._lock:
+            if name in self._counters:
+                return self._counters[name].value
+            if name in self._gauges:
+                return self._gauges[name].value
+            return default
+
+    def snapshot(self) -> dict[str, float]:
+        """Counters and gauges flat; histograms as ``name.p50``-style keys."""
+        with self._lock:
+            out: dict[str, float] = {
+                name: c.value for name, c in self._counters.items()
+            }
+            out.update((name, g.value) for name, g in self._gauges.items())
+            for name, hist in self._histograms.items():
+                for key, value in hist.summary().items():
+                    out[f"{name}.{key}"] = value
+            return out
+
+    def histogram_summaries(self) -> dict[str, dict[str, float]]:
+        with self._lock:
+            return {name: h.summary() for name, h in self._histograms.items()}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

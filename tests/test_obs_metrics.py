@@ -1,0 +1,164 @@
+"""Tests for the typed metric instruments and the repro.perf facade."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import perf
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    perf.reset()
+    yield
+    perf.reset()
+
+
+class TestHistogramBuckets:
+    def test_observations_land_in_the_right_buckets(self):
+        h = Histogram("h", bounds=(1.0, 2.0, 5.0, 10.0))
+        for v in (0.5, 1.0, 1.5, 4.9, 5.0, 9.0, 100.0):
+            h.observe(v)
+        # bounds are inclusive upper bounds; 100 goes to overflow
+        assert h.bucket_counts == [2, 1, 2, 1, 1]
+        assert h.count == 7
+        assert h.sum == pytest.approx(0.5 + 1.0 + 1.5 + 4.9 + 5.0 + 9.0 + 100.0)
+        assert h.min == 0.5
+        assert h.max == 100.0
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+    def test_mean(self):
+        h = Histogram("h", bounds=(10.0,))
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == pytest.approx(3.0)
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_is_nan(self):
+        h = Histogram("h", bounds=(1.0, 2.0))
+        assert math.isnan(h.quantile(0.5))
+        assert math.isnan(h.mean)
+        summary = h.summary()
+        assert summary["count"] == 0
+        assert math.isnan(summary["p50"])
+
+    def test_single_value_is_exact_at_every_quantile(self):
+        # Clamping to [min, max] makes a 1-sample histogram exact even
+        # though the value sits strictly inside its bucket.
+        h = Histogram("h", bounds=(1.0, 2.0, 5.0, 10.0))
+        h.observe(3.3)
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(3.3)
+
+    def test_interpolates_within_bucket(self):
+        h = Histogram("h", bounds=(10.0, 20.0))
+        for _ in range(10):
+            h.observe(15.0)  # all mass in the (10, 20] bucket
+        h.observe(1.0)  # one sample below, to de-clamp the low end
+        # p50 rank lands mid-bucket: between 10 and 20
+        assert 10.0 <= h.quantile(0.5) <= 20.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        h = Histogram("h", bounds=(1.0,))
+        h.observe(0.5)
+        h.observe(500.0)
+        assert h.quantile(0.99) == 500.0
+        assert h.quantile(1.0) == 500.0
+
+    def test_monotone_in_q(self):
+        h = Histogram("h", bounds=(1, 2, 5, 10, 20, 50))
+        for v in (0.3, 1.5, 1.7, 3.0, 4.0, 8.0, 12.0, 45.0, 60.0):
+            h.observe(v)
+        qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+        values = [h.quantile(q) for q in qs]
+        assert values == sorted(values)
+        assert values[0] >= h.min and values[-1] <= h.max
+
+    def test_invalid_quantile_rejected(self):
+        h = Histogram("h", bounds=(1.0,))
+        h.observe(0.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_percentiles_keys(self):
+        h = Histogram("h", bounds=(1.0, 10.0))
+        h.observe(0.5)
+        assert set(h.percentiles()) == {"p50", "p90", "p99"}
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_snapshot(self):
+        reg = MetricsRegistry()
+        reg.incr("events", 3)
+        reg.set_gauge("depth", 7)
+        reg.observe("lat_ms", 2.0, bounds=(1.0, 10.0))
+        snap = reg.snapshot()
+        assert snap["events"] == 3
+        assert snap["depth"] == 7
+        assert snap["lat_ms.count"] == 1
+        assert snap["lat_ms.p50"] == pytest.approx(2.0)
+
+    def test_name_collision_across_types_rejected(self):
+        reg = MetricsRegistry()
+        reg.incr("x")
+        with pytest.raises(ValueError):
+            reg.observe("x", 1.0)
+        with pytest.raises(ValueError):
+            reg.set_gauge("x", 1.0)
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.incr("a")
+        reg.observe("b_ms", 1.0)
+        reg.reset()
+        assert reg.snapshot() == {}
+
+
+class TestPerfFacade:
+    def test_incr_and_get_shims(self):
+        perf.incr("shim.counter")
+        perf.incr("shim.counter", 2)
+        assert perf.get("shim.counter") == 3
+        assert perf.get("never.touched") == 0
+
+    def test_timer_shim_accumulates_seconds(self):
+        with perf.timer("shim.seconds"):
+            pass
+        assert perf.get("shim.seconds") >= 0
+        assert "shim.seconds" in perf.snapshot()
+
+    def test_observe_and_percentiles(self):
+        for v in (1.0, 2.0, 3.0):
+            perf.observe("lat_ms", v)
+        pcts = perf.percentiles("lat_ms")
+        assert set(pcts) == {"p50", "p90", "p99"}
+        assert pcts["p99"] <= 3.0
+        assert perf.percentiles("missing") == {}
+
+    def test_count_buckets_for_integers(self):
+        perf.observe("route.len", 3, bounds=DEFAULT_COUNT_BUCKETS)
+        assert perf.snapshot()["route.len.count"] == 1
+
+    def test_report_renders_histograms(self):
+        perf.incr("a.count")
+        perf.observe("b_ms", 1.5)
+        text = perf.report()
+        assert "a.count" in text
+        assert "b_ms.p50" in text

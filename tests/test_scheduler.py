@@ -233,9 +233,23 @@ class TestRecorder:
         rec.record(np.zeros((4, 3)))
         assert rec.vectors().shape == (4, 3, 2)
 
+    def test_packed_vectors_round_trip(self):
+        rng = np.random.default_rng(7)
+        rec = ActuationRecorder(5, 4)
+        for _ in range(19):  # deliberately not a multiple of 8
+            rec.record((rng.random((5, 4)) < 0.4).astype(np.uint8))
+        packed, n = rec.packed_vectors()
+        assert n == 19
+        assert packed.shape == (5, 4, 3)
+        assert packed.dtype == np.uint8
+        dense = ActuationRecorder.unpack_vectors(packed, n)
+        np.testing.assert_array_equal(dense, rec.vectors())
+
     def test_empty_recorder_rejects_vectors(self):
         with pytest.raises(ValueError):
             ActuationRecorder(4, 3).vectors()
+        with pytest.raises(ValueError):
+            ActuationRecorder(4, 3).packed_vectors()
 
     def test_wrong_shape_rejected(self):
         with pytest.raises(ValueError):
