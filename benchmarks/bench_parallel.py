@@ -1,0 +1,260 @@
+"""Parallel synthesis engine bench: serial vs pooled vs warm-store execution.
+
+Executes whole bioassays on the 60x30 evaluation chip under four
+configurations of the synthesis engine:
+
+* **serial** — no engine; synthesis happens synchronously at MO activation
+  (the pre-engine scheduler, byte-identical behaviour);
+* **pooled** — a worker pool with start-of-run pre-synthesis only
+  (``HybridScheduler.presynthesize``; per-cycle prefetch off);
+* **pooled+prefetch** — pre-synthesis plus the scheduler's per-cycle
+  speculative prefetch of soon-to-activate MOs;
+* **warm-store** — pooled+prefetch plus a persistent strategy store that a
+  priming pass has already filled, so (almost) every synthesis is a store
+  hit.
+
+All configurations run the same chips and simulation seeds; speculation
+changes latency only, so routed cycles must agree — the bench asserts it.
+
+Results are printed, appended to ``benchmarks/out/bench_parallel.txt``, and
+written as ``BENCH_parallel.json`` at the repository root:
+
+```json
+{
+  "bench": "parallel",
+  "chip": {"width": 60, "height": 30},
+  "cores": 8, "workers": 8, "scale": "quick",
+  "bioassays": ["master-mix", "cep"],
+  "configs": {
+    "serial": {"mean_s": ..., "runs": [...], "cycles": [...]},
+    "pooled": {..., "engine": {...}},
+    "pooled_prefetch": {...},
+    "warm_store": {...}
+  },
+  "speedup_pooled_prefetch": 1.7,
+  "speedup_warm_store": 6.2
+}
+```
+
+The ISSUE's 1.5x pooled+prefetch target assumes a >= 4-core runner; on
+fewer cores the pool cannot beat the serial path and the gate is reported
+but only *enforced* with ``--enforce`` (CI keeps it soft).  The warm-store
+target (5x) holds on any core count because store hits skip synthesis
+entirely.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_parallel.py`` (honours
+``REPRO_BENCH_SCALE=quick|full``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import CHIP_HEIGHT, CHIP_WIDTH, SCALE, emit, scaled  # noqa: E402
+
+from repro.bioassay.library import EVALUATION_BIOASSAYS  # noqa: E402
+from repro.bioassay.planner import plan  # noqa: E402
+from repro.biochip.chip import MedaChip  # noqa: E402
+from repro.biochip.simulator import MedaSimulator  # noqa: E402
+from repro.core.baseline import AdaptiveRouter  # noqa: E402
+from repro.core.scheduler import HybridScheduler  # noqa: E402
+from repro.engine import StrategyStore, SynthesisEngine  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_parallel.json"
+
+BIOASSAYS = ("master-mix", "cep")
+MAX_CYCLES = 1200
+
+
+def sample_chip(seed: int) -> MedaChip:
+    # Fast-degrading chips: zone health keeps crossing quantization levels
+    # mid-run, so the scheduler resynthesizes repeatedly — the synthesis-
+    # dominated regime the engine is built for.
+    return MedaChip.sample(
+        CHIP_WIDTH, CHIP_HEIGHT, np.random.default_rng(seed),
+        tau_range=(0.75, 0.90), c_range=(300.0, 800.0),
+    )
+
+
+def execute(graph, chip_seed: int, engine: SynthesisEngine | None,
+            presynth: bool) -> tuple[float, int]:
+    """One bioassay execution; returns (wall seconds, routed cycles)."""
+    chip = sample_chip(chip_seed)
+    router = AdaptiveRouter(engine=engine)
+    scheduler = HybridScheduler(graph, router, CHIP_WIDTH, CHIP_HEIGHT)
+    sim = MedaSimulator(chip, np.random.default_rng(chip_seed + 1))
+    t0 = time.perf_counter()
+    if presynth and engine is not None and engine.pooled:
+        scheduler.presynthesize(chip.health())
+    result = sim.run(scheduler, max_cycles=MAX_CYCLES)
+    elapsed = time.perf_counter() - t0
+    if not result.success:
+        raise RuntimeError(
+            f"bench execution failed ({result.failure_reason}); "
+            f"chip_seed={chip_seed}"
+        )
+    return elapsed, result.cycles
+
+
+def run_config(graphs, repeats: int, make_engine, presynth: bool,
+               prefetch: bool) -> dict:
+    """Run every (bioassay, repeat) under one engine configuration."""
+    runs, cycles = [], []
+    engine_counters: dict[str, int] = {}
+    for rep in range(repeats):
+        for idx, graph in enumerate(graphs):
+            engine = make_engine()
+            if engine is not None:
+                engine.prefetch_enabled = prefetch
+            try:
+                elapsed, routed = execute(
+                    graph, chip_seed=100 + idx * 17 + rep, engine=engine,
+                    presynth=presynth,
+                )
+            finally:
+                if engine is not None:
+                    engine.close()
+                    for key, value in engine.counters().items():
+                        engine_counters[key] = (
+                            engine_counters.get(key, 0) + value
+                        )
+            runs.append(elapsed)
+            cycles.append(routed)
+    out = {
+        "mean_s": float(np.mean(runs)),
+        "total_s": float(np.sum(runs)),
+        "runs": [round(r, 4) for r in runs],
+        "cycles": cycles,
+    }
+    if engine_counters:
+        out["engine"] = engine_counters
+    return out
+
+
+def run_bench(workers: int) -> dict:
+    repeats = scaled(1, 3)
+    graphs = [
+        plan(EVALUATION_BIOASSAYS[name](), CHIP_WIDTH, CHIP_HEIGHT)
+        for name in BIOASSAYS
+    ]
+
+    configs: dict[str, dict] = {}
+    configs["serial"] = run_config(
+        graphs, repeats, lambda: None, presynth=False, prefetch=False
+    )
+    configs["pooled"] = run_config(
+        graphs, repeats, lambda: SynthesisEngine(workers=workers),
+        presynth=True, prefetch=False,
+    )
+    configs["pooled_prefetch"] = run_config(
+        graphs, repeats, lambda: SynthesisEngine(workers=workers),
+        presynth=True, prefetch=True,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        store_path = Path(tmp) / "strategies.sqlite"
+
+        def warm_engine() -> SynthesisEngine:
+            return SynthesisEngine(
+                workers=workers, store=StrategyStore(store_path)
+            )
+
+        # Priming pass fills the store; only the second (fully warm) pass
+        # is measured — the cross-run sweep scenario of EXPERIMENTS.md.
+        run_config(graphs, repeats, warm_engine, presynth=True, prefetch=True)
+        configs["warm_store"] = run_config(
+            graphs, repeats, warm_engine, presynth=True, prefetch=True
+        )
+
+    for name, cfg in configs.items():
+        if cfg["cycles"] != configs["serial"]["cycles"]:
+            raise RuntimeError(
+                f"determinism violation: config {name!r} routed "
+                f"{cfg['cycles']} vs serial {configs['serial']['cycles']}"
+            )
+
+    serial_mean = configs["serial"]["mean_s"]
+    return {
+        "bench": "parallel",
+        "chip": {"width": CHIP_WIDTH, "height": CHIP_HEIGHT},
+        "cores": os.cpu_count(),
+        "workers": workers,
+        "scale": SCALE,
+        "bioassays": list(BIOASSAYS),
+        "repeats": repeats,
+        "max_cycles": MAX_CYCLES,
+        "configs": configs,
+        "speedup_pooled": serial_mean / configs["pooled"]["mean_s"],
+        "speedup_pooled_prefetch":
+            serial_mean / configs["pooled_prefetch"]["mean_s"],
+        "speedup_warm_store": serial_mean / configs["warm_store"]["mean_s"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="pool size for the pooled configs (0 = one per core)",
+    )
+    parser.add_argument(
+        "--enforce", action="store_true",
+        help="fail (exit 1) when the speedup targets are missed instead of "
+             "just reporting them",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_bench(args.workers)
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [
+        f"whole-bioassay execution wall time, "
+        f"{report['chip']['width']}x{report['chip']['height']} chip, "
+        f"{'+'.join(report['bioassays'])}, {report['cores']} cores, "
+        f"{report['workers'] or 'auto'} workers (scale={report['scale']})",
+    ]
+    for name in ("serial", "pooled", "pooled_prefetch", "warm_store"):
+        cfg = report["configs"][name]
+        lines.append(f"  {name:16s} mean {cfg['mean_s']:7.2f} s"
+                     f"  total {cfg['total_s']:7.2f} s")
+    lines += [
+        f"  speedup pooled:          {report['speedup_pooled']:.2f}x",
+        f"  speedup pooled+prefetch: {report['speedup_pooled_prefetch']:.2f}x"
+        f"  (target 1.5x on >=4 cores)",
+        f"  speedup warm store:      {report['speedup_warm_store']:.2f}x"
+        f"  (target 5x)",
+        f"  wrote {JSON_PATH}",
+    ]
+    emit("bench_parallel", "\n".join(lines))
+
+    cores = report["cores"] or 1
+    failed = []
+    if cores >= 4 and report["speedup_pooled_prefetch"] < 1.5:
+        failed.append(
+            f"pooled+prefetch speedup "
+            f"{report['speedup_pooled_prefetch']:.2f}x < 1.5x on "
+            f"{cores} cores"
+        )
+    if report["speedup_warm_store"] < 5.0:
+        failed.append(
+            f"warm-store speedup {report['speedup_warm_store']:.2f}x < 5x"
+        )
+    for message in failed:
+        print(f"{'FAIL' if args.enforce else 'WARN'}: {message}",
+              file=sys.stderr)
+    return 1 if (failed and args.enforce) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,7 +5,9 @@ Commands:
 * ``list`` — the bioassay suite with op counts;
 * ``run`` — execute a bioassay on a sampled chip and print the outcome
   (optionally the wear heatmap); ``--trace``/``--journal``/``--perf``
-  switch on the :mod:`repro.obs` telemetry;
+  switch on the :mod:`repro.obs` telemetry; ``--workers``/``--prefetch``/
+  ``--strategy-cache`` enable the parallel synthesis engine
+  (:mod:`repro.engine`);
 * ``report`` — summarize a run journal written by ``run --journal``;
 * ``synth`` — synthesize a single routing job and print the route map;
 * ``degradation`` — print the D(n)/H(n) lifetime table for given (tau, c).
@@ -56,8 +58,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         tau_range=(args.tau_min, args.tau_max),
         c_range=(args.c_min, args.c_max),
     )
+
+    engine = None
+    if args.router == "adaptive" and (
+        args.workers != 1 or args.strategy_cache is not None
+    ):
+        from repro.engine import StrategyStore, SynthesisEngine
+
+        store = None
+        if args.strategy_cache is not None:
+            store = StrategyStore(
+                None if args.strategy_cache == "auto" else args.strategy_cache
+            )
+        engine = SynthesisEngine(
+            workers=args.workers, store=store, prefetch=args.prefetch
+        )
     if args.router == "adaptive":
-        router = AdaptiveRouter()
+        router = AdaptiveRouter(engine=engine)
     else:
         router = BaselineRouter(args.width, args.height)
 
@@ -71,16 +88,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for run_idx in range(args.runs):
             obs.journal_event("cli.run", run=run_idx + 1,
                               bioassay=args.bioassay, router=args.router,
-                              seed=args.seed)
+                              seed=args.seed, workers=args.workers)
             scheduler = HybridScheduler(graph, router, args.width, args.height)
             sim = MedaSimulator(chip,
                                 np.random.default_rng(args.seed + 1 + run_idx))
+            if engine is not None and engine.pooled:
+                scheduler.presynthesize(chip.health())
             result = sim.run(scheduler, max_cycles=args.max_cycles)
             status = "ok" if result.success else f"FAILED ({result.failure})"
             print(f"run {run_idx + 1}: {status:24s} cycles={result.cycles:4d} "
                   f"replans={result.resyntheses}")
             total_failures += 0 if result.success else 1
     finally:
+        if engine is not None:
+            engine.close()
+            if args.perf:
+                pairs = ", ".join(
+                    f"{k}={v}" for k, v in engine.counters().items()
+                )
+                print(f"engine: {pairs}")
         if tracer is not None and args.trace is not None:
             spans_path = args.trace + ".spans.jsonl"
             tracer.export_chrome(args.trace)
@@ -202,6 +228,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--tau-max", type=float, default=0.9)
     run.add_argument("--c-min", type=float, default=200.0)
     run.add_argument("--c-max", type=float, default=500.0)
+    run.add_argument("--workers", type=int, default=1,
+                     help="synthesis worker processes (adaptive router only): "
+                          "1 = synchronous (default), 0 = one per core, "
+                          "N>1 = a pool of N")
+    run.add_argument("--prefetch", action=argparse.BooleanOptionalAction,
+                     default=True,
+                     help="speculatively prefetch strategies for MOs about "
+                          "to activate (needs --workers != 1)")
+    run.add_argument("--strategy-cache", metavar="PATH", nargs="?",
+                     const="auto", default=None,
+                     help="persist synthesized strategies across runs in a "
+                          "SQLite cache; with no PATH, uses "
+                          "~/.cache/repro/strategies.sqlite")
     run.add_argument("--show-wear", action="store_true",
                      help="print the chip wear heatmap afterwards")
     run.add_argument("--perf", action="store_true",

@@ -69,15 +69,40 @@ class AdaptiveRouter:
         pessimistic: bool = False,
         epsilon: float = SYNTHESIS_EPSILON,
         library: StrategyLibrary | None = None,
+        engine: "object | None" = None,
     ) -> None:
+        """``engine`` is an optional :class:`repro.engine.SynthesisEngine`.
+
+        When present, plans are served in priority order: in-memory library,
+        completed speculation from the worker pool, persistent store, and
+        finally synchronous synthesis.  Speculation and store only ever
+        supply strategies that synchronous synthesis would have produced
+        for the same (job, health), so the routing decisions are identical
+        with and without an engine.
+        """
         self.bits = bits
         self.query = query
         self.max_aspect = max_aspect
         self.pessimistic = pessimistic
         self.epsilon = epsilon
         self.library = library if library is not None else StrategyLibrary()
+        self.engine = engine
         self.syntheses = 0
         self.synthesis_seconds = 0.0
+
+    def prefetch(self, job: RoutingJob, health: np.ndarray) -> bool:
+        """Speculatively submit ``(job, health)`` to the engine pool.
+
+        Skips jobs the library already covers; warm-start values are
+        captured now, exactly as a synchronous plan at this moment would.
+        """
+        if self.engine is None or not self.engine.pooled:
+            return False
+        if self.library.contains(job, health):
+            return False
+        return self.engine.submit(
+            job, health, warm_values=self.library.warm_start(job)
+        )
 
     def plan(self, job: RoutingJob, health: np.ndarray) -> RoutingStrategy | None:
         with obs.span("rj.plan", job=job.key()) as rj_span:
@@ -96,6 +121,24 @@ class AdaptiveRouter:
                     health_fingerprint(health, job.hazard)
                 ),
             )
+            if self.engine is not None:
+                status, speculated = self.engine.take(job, health)
+                rj_span.set(engine=status)
+                if status in ("hit", "no-plan"):
+                    # A completed speculation is a definitive answer for this
+                    # exact (job, health fingerprint) pair.
+                    perf.incr("engine.presynthesized")
+                    if speculated is not None:
+                        self.library.put(job, health, speculated)
+                        self.engine.store_put(job, health, speculated)
+                    return speculated
+                stored = self.engine.store_get(job, health)
+                if stored is not None:
+                    # library.put also installs the stored values as the
+                    # job's warm-start seed for future resyntheses.
+                    rj_span.set(store="hit")
+                    self.library.put(job, health, stored)
+                    return stored
             result = synthesize(
                 job,
                 health,
@@ -123,6 +166,8 @@ class AdaptiveRouter:
             strategy = strategy_from_synthesis(job, result)
             if strategy is not None:
                 self.library.put(job, health, strategy)
+                if self.engine is not None:
+                    self.engine.store_put(job, health, strategy)
             return strategy
 
 

@@ -127,6 +127,8 @@ class HybridScheduler:
         resynthesis_latency: int = 4,
         activation_order: str = "program",
         stall_recovery_threshold: int = 12,
+        engine: "object | None" = None,
+        prefetch_horizon: int = 8,
     ) -> None:
         """``resynthesis_latency`` models the hybrid scheme's *asynchronous*
         resynthesis (Sec. VI-D): when zone health changes, the old strategy
@@ -148,6 +150,17 @@ class HybridScheduler:
         method (reactive error recovery, Sec. II-C) and a droplet makes no
         progress for this many planning cycles, the scheduler invokes it —
         a reroute-style retrial corrective action.
+
+        ``engine`` is an optional :class:`repro.engine.SynthesisEngine`
+        shared with the router.  With a pooled engine the scheduler
+        *speculatively prefetches*: each cycle it predicts the routing jobs
+        of MOs whose predecessors are within ``prefetch_horizon`` cycles of
+        completion and submits them to the worker pool, so the strategies
+        are (often) already solved when the MO activates.  Mispredictions
+        are harmless — the activation-time job key simply misses and the
+        router synthesizes synchronously.  With ``engine=None`` (or when
+        ``router`` has no ``prefetch``) the scheduler behaves exactly as
+        before.
         """
         if not graph.is_placed():
             raise ValueError("scheduler needs a placed sequencing graph")
@@ -172,6 +185,13 @@ class HybridScheduler:
         self._next_droplet = 0
         self.activation_order = activation_order
         self.stall_recovery_threshold = stall_recovery_threshold
+        self.engine = engine if engine is not None else getattr(
+            router, "engine", None
+        )
+        if prefetch_horizon < 0:
+            raise ValueError("prefetch horizon cannot be negative")
+        self.prefetch_horizon = prefetch_horizon
+        self.prefetches = 0
         self.failure: str | None = None
         self.cycle = 0
         self.resyntheses = 0
@@ -200,6 +220,8 @@ class HybridScheduler:
         if self.failure or self.complete:
             return CyclePlan({}, {}, failure=self.failure, complete=self.complete)
         self._activate_ready(health)
+        if not self.failure:
+            self._prefetch(health)
         targets: dict[int, Rect] = {}
         moves: dict[int, str] = {}
         for name in self._order:
@@ -220,6 +242,127 @@ class HybridScheduler:
             failure=self.failure,
             complete=self.complete,
         )
+
+    # -- speculative prefetch ------------------------------------------------
+
+    def presynthesize(self, health: np.ndarray) -> int:
+        """Submit every statically decomposed routing job to the engine pool.
+
+        The speculative counterpart of the paper's offline pre-synthesis
+        pass: before the first cycle, all the jobs the decomposition already
+        knows about are solved on the worker pool, concurrently with the
+        assay starting to execute.  Jobs whose activation-time form differs
+        (rebased starts, routing obstacles) simply miss and fall back to
+        synchronous synthesis.  Returns the number of jobs submitted.
+        """
+        prefetch = getattr(self.router, "prefetch", None)
+        if self.engine is None or not self.engine.pooled or prefetch is None:
+            return 0
+        submitted = 0
+        with obs.span("scheduler.presynthesize"):
+            for name in self._order:
+                for job in self._states[name].decomposed.jobs:
+                    if job.is_dispense:
+                        continue
+                    if prefetch(job, health):
+                        submitted += 1
+        self.prefetches += submitted
+        return submitted
+
+    def _prefetch(self, health: np.ndarray) -> None:
+        """Prefetch strategies for MOs that are about to activate."""
+        prefetch = getattr(self.router, "prefetch", None)
+        if (
+            self.engine is None
+            or not self.engine.pooled
+            or not self.engine.prefetch_enabled
+            or prefetch is None
+        ):
+            return
+        for name in self._order:
+            state = self._states[name]
+            if state.phase is MOPhase.INIT:
+                if not all(
+                    self._near_done(p.name)
+                    for p in self.graph.predecessors(name)
+                ):
+                    continue
+                jobs = self._predict_activation_jobs(name)
+            elif (
+                state.phase is MOPhase.OPERATING
+                and state.stage == "splitting"
+                and state.hold_remaining <= self.prefetch_horizon
+            ):
+                # A split's route-out jobs start exactly at the decomposed
+                # patterns, so this prediction is usually exact.
+                mo = self.graph.mo(name)
+                indices = (0, 1) if mo.type is MOType.SPT else (2, 3)
+                jobs = [
+                    self._with_obstacles(state.decomposed.jobs[i], name)
+                    for i in indices
+                ]
+            else:
+                continue
+            for job in jobs:
+                if prefetch(job, health):
+                    self.prefetches += 1
+
+    def _near_done(self, name: str) -> bool:
+        """Whether an MO should finish within the prefetch horizon."""
+        state = self._states[name]
+        if state.phase is MOPhase.DONE:
+            return True
+        horizon = self.prefetch_horizon
+        mo = self.graph.mo(name)
+        if state.phase is MOPhase.OPERATING:
+            if mo.type is MOType.DIS:
+                return state.dispense_remaining <= horizon
+            if mo.type in (MOType.SPT, MOType.DLT):
+                return False  # the split's route-out phase still follows
+            return state.hold_remaining <= horizon
+        if state.phase is MOPhase.ROUTING and state.stage == "route_out":
+            return all(
+                task.droplet_id in self.droplets
+                and self._goal_gap(
+                    self.droplets[task.droplet_id], task.job.goal
+                ) <= horizon
+                for task in state.tasks
+            )
+        return False
+
+    @staticmethod
+    def _goal_gap(rect: Rect, goal: Rect) -> int:
+        """Chebyshev gap between a droplet pattern and its goal region."""
+        dx = max(0, goal.xa - rect.xb, rect.xa - goal.xb)
+        dy = max(0, goal.ya - rect.yb, rect.ya - goal.yb)
+        return max(dx, dy)
+
+    def _predict_activation_jobs(self, name: str) -> list[RoutingJob]:
+        """The routing jobs :meth:`_activate` would build for ``name`` now.
+
+        Mirrors the activation paths without consuming parked droplets:
+        inputs already parked are rebased exactly as activation will; inputs
+        still in flight fall back to the decomposed pattern (a best-effort
+        guess — a mismatch is just a wasted speculation).
+        """
+        mo = self.graph.mo(name)
+        dec = self._states[name].decomposed
+        if mo.type is MOType.DIS or mo.type is MOType.SPT:
+            return []  # no routing on activation (dispense / hold-then-split)
+        if mo.type in (MOType.MIX, MOType.DLT):
+            indices = (0, 1)
+        else:  # OUT, DSC, MAG
+            indices = (0,)
+        jobs: list[RoutingJob] = []
+        for idx in indices:
+            pred = mo.pre[idx]
+            slot = mo.pre_output[idx] if mo.pre_output else 0
+            did = self._parked.get((pred, slot))
+            job = dec.jobs[idx]
+            if did is not None and did in self.droplets:
+                job = self._fit_job(job, self.droplets[did])
+            jobs.append(self._with_obstacles(job, name))
+        return jobs
 
     def sensing_mask(self) -> np.ndarray:
         """The MCs a *selective* scan must cover this cycle.

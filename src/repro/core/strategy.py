@@ -47,6 +47,50 @@ class RoutingStrategy:
         """Whether the strategy prescribes an action at ``delta``."""
         return self.policy.action(delta) is not None
 
+    def to_payload(self) -> dict:
+        """A JSON/pickle-safe dict form (job + policy + value).
+
+        This is the wire format of the synthesis engine: worker processes
+        and the persistent strategy store both ship strategies as these
+        compact dicts instead of pickled model objects.
+        """
+        return {
+            "job": job_to_payload(self.job),
+            "policy": self.policy.to_payload(),
+            "expected_cycles": self.expected_cycles,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RoutingStrategy":
+        """Rehydrate a strategy from :meth:`to_payload` output."""
+        return cls(
+            job=job_from_payload(payload["job"]),
+            policy=MemorylessStrategy.from_payload(payload["policy"]),
+            expected_cycles=float(payload["expected_cycles"]),
+        )
+
+
+def job_to_payload(job: RoutingJob) -> dict:
+    """JSON-safe encoding of a routing job (inverse: :func:`job_from_payload`)."""
+    return {
+        "start": list(job.start.as_tuple()),
+        "goal": list(job.goal.as_tuple()),
+        "hazard": list(job.hazard.as_tuple()),
+        "obstacles": [list(o.as_tuple()) for o in job.obstacles],
+    }
+
+
+def job_from_payload(payload: dict) -> RoutingJob:
+    """Rebuild a routing job from :func:`job_to_payload` output."""
+    return RoutingJob(
+        start=Rect(*(int(v) for v in payload["start"])),
+        goal=Rect(*(int(v) for v in payload["goal"])),
+        hazard=Rect(*(int(v) for v in payload["hazard"])),
+        obstacles=tuple(
+            Rect(*(int(v) for v in o)) for o in payload["obstacles"]
+        ),
+    )
+
 
 def health_fingerprint(health: np.ndarray, zone: Rect) -> bytes:
     """A hashable digest of the health values inside a hazard zone.
@@ -95,6 +139,14 @@ class StrategyLibrary:
         self, job: RoutingJob, health: np.ndarray
     ) -> tuple[tuple[int, ...], bytes]:
         return (job.key(), health_fingerprint(health, job.hazard))
+
+    def contains(self, job: RoutingJob, health: np.ndarray) -> bool:
+        """Membership check that does not touch the hit/miss counters.
+
+        Used by speculative machinery (prefetch submission) that must not
+        pollute the cache statistics with lookups no plan ever asked for.
+        """
+        return self._key(job, health) in self.entries
 
     def get(self, job: RoutingJob, health: np.ndarray) -> RoutingStrategy | None:
         """Look up a strategy for ``job`` under the current health matrix."""

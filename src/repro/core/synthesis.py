@@ -87,7 +87,7 @@ class SynthesisResult:
     strategy: MemorylessStrategy | None
     expected_cycles: float
     success_probability: float | None
-    model: "RoutingModel | CompiledRoutingModel"
+    model: "RoutingModel | CompiledRoutingModel | None"
     construction_time: float
     solve_time: float
 
@@ -99,6 +99,36 @@ class SynthesisResult:
     def exists(self) -> bool:
         """Whether a usable strategy was synthesized."""
         return self.strategy is not None
+
+    def to_payload(self) -> dict:
+        """A compact, JSON/pickle-safe dict of this result.
+
+        The heavyweight ``model`` (state inventory + CSR transitions) is
+        deliberately dropped: cross-process consumers only need the policy
+        and its value, and shipping the model would dwarf them both.
+        """
+        return {
+            "strategy": None if self.strategy is None
+            else self.strategy.to_payload(),
+            "expected_cycles": self.expected_cycles,
+            "success_probability": self.success_probability,
+            "construction_time": self.construction_time,
+            "solve_time": self.solve_time,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SynthesisResult":
+        """Rehydrate a result from :meth:`to_payload` (``model`` is None)."""
+        strategy = payload["strategy"]
+        return cls(
+            strategy=None if strategy is None
+            else MemorylessStrategy.from_payload(strategy),
+            expected_cycles=float(payload["expected_cycles"]),
+            success_probability=payload["success_probability"],
+            model=None,
+            construction_time=float(payload["construction_time"]),
+            solve_time=float(payload["solve_time"]),
+        )
 
 
 def synthesize(
@@ -222,7 +252,14 @@ def synthesize_with_field(
         query.objective in (Objective.RMIN, Objective.RMAX)
         and not np.isfinite(expected)
     ) or (probability is not None and probability <= 0.0)
-    if no_plan or strategy.action(job.start) is None and not job.goal.contains(job.start):
+    # A strategy is usable only when the start pattern already satisfies the
+    # goal (nothing to do) or the policy prescribes an action there.  The
+    # checks are guarded on ``strategy`` so a missing policy can never be
+    # dereferenced.
+    start_covered = job.goal.contains(job.start) or (
+        strategy is not None and strategy.action(job.start) is not None
+    )
+    if no_plan or not start_covered:
         strategy = None
     return SynthesisResult(
         strategy=strategy,

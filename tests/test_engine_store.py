@@ -1,0 +1,132 @@
+"""Tests for the persistent on-disk strategy store."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import numpy as np
+
+from repro.core.routing_job import RoutingJob, zone
+from repro.core.strategy import strategy_from_synthesis
+from repro.core.synthesis import synthesize
+from repro.engine.store import StrategyStore, default_store_path
+from repro.geometry.rect import Rect
+
+W, H = 30, 20
+
+
+def job(start=Rect(2, 2, 5, 5), goal=Rect(20, 10, 23, 13)) -> RoutingJob:
+    return RoutingJob(start, goal, zone(start, goal, W, H))
+
+
+def full_health() -> np.ndarray:
+    return np.full((W, H), 3)
+
+
+def solved_strategy(the_job=None, health=None):
+    the_job = the_job if the_job is not None else job()
+    health = health if health is not None else full_health()
+    return strategy_from_synthesis(the_job, synthesize(the_job, health))
+
+
+class TestRoundTrip:
+    def test_put_get_hit(self, tmp_path):
+        strategy = solved_strategy()
+        with StrategyStore(tmp_path / "s.sqlite") as store:
+            assert store.get(job(), full_health()) is None
+            store.put(job(), full_health(), strategy)
+            loaded = store.get(job(), full_health())
+        assert loaded == strategy
+        assert store.hits == 1 and store.misses == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        strategy = solved_strategy()
+        with StrategyStore(path) as store:
+            store.put(job(), full_health(), strategy)
+        with StrategyStore(path) as fresh:
+            assert fresh.get(job(), full_health()) == strategy
+
+    def test_changed_zone_health_is_stale_miss(self, tmp_path):
+        strategy = solved_strategy()
+        with StrategyStore(tmp_path / "s.sqlite") as store:
+            store.put(job(), full_health(), strategy)
+            degraded = full_health()
+            degraded[10, 8] = 1  # inside the hazard zone
+            assert store.get(job(), degraded) is None
+        assert store.stale == 1 and store.misses == 1
+
+    def test_out_of_zone_health_still_hits(self, tmp_path):
+        strategy = solved_strategy()
+        with StrategyStore(tmp_path / "s.sqlite") as store:
+            store.put(job(), full_health(), strategy)
+            changed = full_health()
+            changed[0, 19] = 0  # outside the hazard zone
+            assert store.get(job(), changed) == strategy
+
+    def test_different_synthesis_params_never_collide(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        strategy = solved_strategy()
+        with StrategyStore(path, bits=2) as store:
+            store.put(job(), full_health(), strategy)
+        with StrategyStore(path, bits=3) as other:
+            assert other.get(job(), full_health()) is None
+
+
+class TestEviction:
+    def test_lru_bound_evicts_oldest(self, tmp_path):
+        jobs = [
+            job(start=Rect(2, 2 + dy, 5, 5 + dy)) for dy in range(4)
+        ]
+        strategies = [solved_strategy(j) for j in jobs]
+        with StrategyStore(tmp_path / "s.sqlite", max_entries=3) as store:
+            for j, s in zip(jobs[:3], strategies[:3]):
+                store.put(j, full_health(), s)
+            # Touch the first entry so the second becomes least recent.
+            assert store.get(jobs[0], full_health()) is not None
+            store.put(jobs[3], full_health(), strategies[3])
+            assert len(store) == 3
+            assert store.get(jobs[1], full_health()) is None
+            assert store.get(jobs[0], full_health()) is not None
+            assert store.get(jobs[3], full_health()) is not None
+
+
+class TestCorruptionTolerance:
+    def test_garbage_file_is_recreated(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        path.write_bytes(b"this is not a sqlite database at all \x00\xff")
+        store = StrategyStore(path)
+        assert store.usable
+        assert store.corrupt == 1
+        strategy = solved_strategy()
+        store.put(job(), full_health(), strategy)
+        assert store.get(job(), full_health()) == strategy
+        store.close()
+
+    def test_garbage_row_is_dropped(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        with StrategyStore(path) as store:
+            store.put(job(), full_health(), solved_strategy())
+        with sqlite3.connect(str(path)) as conn:
+            conn.execute("UPDATE strategies SET payload = '{not json'")
+            conn.commit()
+        with StrategyStore(path) as store:
+            assert store.get(job(), full_health()) is None
+            assert store.corrupt == 1
+            assert len(store) == 0  # the bad row was deleted
+
+    def test_unwritable_location_degrades_to_noop(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the store wants a directory")
+        store = StrategyStore(blocker / "s.sqlite")
+        assert not store.usable
+        # All operations become no-ops instead of raising.
+        store.put(job(), full_health(), solved_strategy())
+        assert store.get(job(), full_health()) is None
+        store.close()
+
+
+class TestDefaultPath:
+    def test_honours_xdg_cache_home(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert default_store_path() == tmp_path / "repro" / "strategies.sqlite"

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.baseline import AdaptiveRouter, BaselineRouter, OracleRouter
-from repro.core.routing_job import RoutingJob
+from repro.core.routing_job import RoutingJob, zone
 from repro.core.strategy import StrategyLibrary, health_fingerprint
 from repro.core.synthesis import (
     force_field_from_degradation,
@@ -140,6 +140,28 @@ class TestSynthesize:
         assert result.total_time == pytest.approx(
             result.construction_time + result.solve_time
         )
+
+    def test_start_inside_goal_keeps_strategy(self):
+        """Regression: the usability guard must not discard a strategy when
+        the start already satisfies the goal (no action is prescribed there,
+        which is fine — there is nothing left to do)."""
+        start = Rect(10, 8, 13, 11)
+        goal = Rect(9, 7, 14, 12)  # contains the start
+        result = synthesize(
+            RoutingJob(start, goal, zone(start, goal, W, H)), full_health()
+        )
+        assert result.exists
+        assert result.expected_cycles == pytest.approx(0.0)
+
+    def test_no_plan_with_missing_strategy_does_not_raise(self):
+        """Regression: when synthesis finds no plan the guard used to
+        dereference ``strategy.action`` without a None check; the walled
+        job must come back as a clean (None, inf) result."""
+        health = full_health()
+        health[12, :] = 0
+        result = synthesize(job(), health)  # must not raise
+        assert result.strategy is None
+        assert result.expected_cycles == float("inf")
 
     def test_dispense_rejected(self):
         from repro.core.droplet import OFF_CHIP
