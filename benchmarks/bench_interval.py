@@ -1,0 +1,187 @@
+"""Plain VI vs certified interval VI: what do sound bounds cost?
+
+The interval pipeline (qualitative precomputation + two-sided iteration,
+see ``repro.modelcheck.interval``) replaces the legacy one-sided sweep
+loop whose ``delta < epsilon`` stop proves nothing about the true error —
+and diverges outright on goal-dodging end components.  This bench measures
+the price of the certificate on the 60x30 evaluation chip: identical
+routing models are solved by both paths (``certified=False`` vs the
+default) and the per-RJ solve times are compared, together with the gap
+the interval solver actually certifies.
+
+The acceptance gate is *soft*: a mean per-RJ slowdown beyond 5% prints a
+warning but does not fail the bench (the certificate is mandatory; the
+gate exists to surface regressions, not to trade soundness for speed).
+The certified-gap bound, by contrast, is hard: every solve must close its
+interval to ``epsilon``.
+
+Results go to stdout, ``benchmarks/out/bench_interval.txt``, and
+``BENCH_interval.json``:
+
+```json
+{
+  "bench": "interval",
+  "chip": {"width": 60, "height": 30},
+  "plain":    {"solve_mean_ms": ..., "solve_p95_ms": ..., "iters_mean": ...},
+  "interval": {"solve_mean_ms": ..., "solve_p95_ms": ..., "iters_mean": ...,
+               "gap_max": ..., "gap_mean": ...},
+  "slowdown_mean": 1.03,
+  "soft_gate_ok": true
+}
+```
+
+Run with ``PYTHONPATH=src python benchmarks/bench_interval.py`` (honours
+``REPRO_BENCH_SCALE=quick|full``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import CHIP_HEIGHT, CHIP_WIDTH, SCALE, emit, scaled  # noqa: E402
+
+from repro import perf  # noqa: E402
+from repro.core.fastmdp import build_routing_model_fast  # noqa: E402
+from repro.core.routing_job import RoutingJob  # noqa: E402
+from repro.core.synthesis import (  # noqa: E402
+    SYNTHESIS_EPSILON,
+    force_field_from_health,
+)
+from repro.geometry.rect import Rect  # noqa: E402
+from repro.modelcheck.compiled import solve_reach_avoid_reward  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_interval.json"
+
+#: Soft gate: mean per-RJ slowdown of interval vs plain solving.
+SOFT_SLOWDOWN_LIMIT = 1.05
+
+
+def workload_jobs() -> list[RoutingJob]:
+    """Same mixed-distance jobs as ``bench_synthesis`` (comparability)."""
+    W, H = CHIP_WIDTH, CHIP_HEIGHT
+    full = Rect(1, 1, W, H)
+    return [
+        RoutingJob(Rect(2, 2, 4, 4), Rect(50, 25, 52, 27), full),
+        RoutingJob(Rect(55, 3, 57, 5), Rect(5, 24, 7, 26), full),
+        RoutingJob(Rect(28, 2, 30, 4), Rect(30, 26, 32, 28),
+                   Rect(20, 1, 40, H)),
+        RoutingJob(Rect(3, 14, 5, 16), Rect(54, 14, 56, 16),
+                   Rect(1, 8, W, 22)),
+    ]
+
+
+def health_sequence(rng: np.random.Generator, steps: int) -> list[np.ndarray]:
+    h = np.full((CHIP_WIDTH, CHIP_HEIGHT), 3, dtype=int)
+    seq = [h.copy()]
+    for _ in range(steps - 1):
+        drop = rng.random(h.shape) < 0.01
+        h = np.where(drop, np.maximum(h - 1, 1), h)
+        seq.append(h.copy())
+    return seq
+
+
+def run_bench() -> dict:
+    rng = np.random.default_rng(20210201)
+    jobs = workload_jobs()
+    steps = scaled(3, 8)
+    healths = health_sequence(rng, steps)
+
+    # Build every model once up front so both solver configurations see
+    # the exact same compiled MDPs and only solve time is measured.
+    models = []
+    for health in healths:
+        forces = force_field_from_health(health).forces
+        for job in jobs:
+            models.append(build_routing_model_fast(job, forces).compiled)
+
+    results: dict[str, dict] = {}
+    for name, certified in (("plain", False), ("interval", True)):
+        perf.reset()
+        solve_ms, iters = [], []
+        for cm in models:
+            # Best of three: scheduler noise on a shared runner easily
+            # exceeds the few-percent differences the soft gate watches.
+            best = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter()
+                res = solve_reach_avoid_reward(
+                    cm, epsilon=SYNTHESIS_EPSILON, certified=certified
+                )
+                best = min(best, time.perf_counter() - t0)
+            solve_ms.append(best * 1e3)
+            iters.append(res.iterations)
+        counters = perf.snapshot()
+        arr = np.asarray(solve_ms)
+        entry = {
+            "solve_mean_ms": float(arr.mean()),
+            "solve_p50_ms": float(np.percentile(arr, 50)),
+            "solve_p95_ms": float(np.percentile(arr, 95)),
+            "iters_mean": float(np.mean(iters)),
+            "iters_max": int(np.max(iters)),
+        }
+        if certified:
+            entry["gap_max"] = counters.get("vi.interval.gap.max", float("nan"))
+            entry["gap_mean"] = counters.get("vi.interval.gap.mean", float("nan"))
+            entry["precompute_seconds"] = counters.get(
+                "vi.precompute.seconds", 0.0
+            )
+        results[name] = entry
+
+    slowdown = (
+        results["interval"]["solve_mean_ms"] / results["plain"]["solve_mean_ms"]
+    )
+    return {
+        "bench": "interval",
+        "chip": {"width": CHIP_WIDTH, "height": CHIP_HEIGHT},
+        "scale": SCALE,
+        "epsilon": SYNTHESIS_EPSILON,
+        "models": len(models),
+        "plain": results["plain"],
+        "interval": results["interval"],
+        "slowdown_mean": slowdown,
+        "soft_gate_ok": slowdown <= SOFT_SLOWDOWN_LIMIT,
+    }
+
+
+def main() -> int:
+    report = run_bench()
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    plain, ivl = report["plain"], report["interval"]
+    lines = [
+        f"plain vs interval solve, {report['chip']['width']}x"
+        f"{report['chip']['height']} chip, {report['models']} models "
+        f"(scale={report['scale']}, epsilon={report['epsilon']:.0e})",
+        f"  plain    (uncertified): mean {plain['solve_mean_ms']:7.1f} ms"
+        f"  p95 {plain['solve_p95_ms']:7.1f}  iters_mean {plain['iters_mean']:.0f}",
+        f"  interval (certified):   mean {ivl['solve_mean_ms']:7.1f} ms"
+        f"  p95 {ivl['solve_p95_ms']:7.1f}  iters_mean {ivl['iters_mean']:.0f}",
+        f"  certified gap: max {ivl['gap_max']:.2e}  mean {ivl['gap_mean']:.2e}",
+        f"  slowdown (mean solve): {report['slowdown_mean']:.2f}x"
+        f"  (soft limit {SOFT_SLOWDOWN_LIMIT:.2f}x)",
+        f"  wrote {JSON_PATH}",
+    ]
+    emit("bench_interval", "\n".join(lines))
+    if not ivl["gap_max"] <= report["epsilon"]:
+        print("FAIL: certified interval gap exceeds epsilon "
+              f"(max {ivl['gap_max']!r} > {report['epsilon']!r})",
+              file=sys.stderr)
+        return 1
+    if not report["soft_gate_ok"]:
+        print(
+            f"WARN: mean interval slowdown {report['slowdown_mean']:.2f}x "
+            f"exceeds the {SOFT_SLOWDOWN_LIMIT:.2f}x soft gate",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,6 +56,7 @@ from repro.core.fastmdp import (  # noqa: E402
 )
 from repro.core.routing_job import RoutingJob  # noqa: E402
 from repro.core.synthesis import (  # noqa: E402
+    SYNTHESIS_EPSILON,
     force_field_from_health,
     synthesize_with_field,
 )
@@ -146,6 +147,17 @@ def run_bench() -> dict:
     post["construct_mean_ms"] = float(np.mean(post_construct))
     post["solve_mean_ms"] = float(np.mean(post_solve))
 
+    # Certified-bound quality over every post-pipeline solve: the interval
+    # solver records each result's max bound width in the vi.interval.gap
+    # histogram, so the bench can assert soundness, not just speed.
+    certified = {
+        "epsilon": SYNTHESIS_EPSILON,
+        "solves": counters.get("vi.interval.gap.count", 0.0),
+        "gap_max": counters.get("vi.interval.gap.max", float("nan")),
+        "gap_mean": counters.get("vi.interval.gap.mean", float("nan")),
+        "gap_p99": counters.get("vi.interval.gap.p99", float("nan")),
+    }
+
     return {
         "bench": "synthesis",
         "chip": {"width": CHIP_WIDTH, "height": CHIP_HEIGHT},
@@ -155,6 +167,7 @@ def run_bench() -> dict:
         "samples": len(pre_total),
         "pre": pre,
         "post": post,
+        "certified": certified,
         "speedup_mean": pre["mean_ms"] / post["mean_ms"],
         "perf_counters": {k: counters[k] for k in sorted(counters)},
     }
@@ -172,9 +185,19 @@ def main() -> int:
         f"  post (vectorized build + warm VI): mean {report['post']['mean_ms']:8.1f} ms"
         f"  p50 {report['post']['p50_ms']:8.1f}  p95 {report['post']['p95_ms']:8.1f}",
         f"  speedup (mean total): {report['speedup_mean']:.2f}x",
+        f"  certified gaps over {int(report['certified']['solves'])} solves:"
+        f"  max {report['certified']['gap_max']:.2e}"
+        f"  mean {report['certified']['gap_mean']:.2e}"
+        f"  (epsilon {report['certified']['epsilon']:.0e})",
         f"  wrote {JSON_PATH}",
     ]
     emit("bench_synthesis", "\n".join(lines))
+    cert = report["certified"]
+    if not cert["solves"] or not cert["gap_max"] <= cert["epsilon"]:
+        print("FAIL: certified interval gap exceeds epsilon "
+              f"(max {cert['gap_max']!r} > {cert['epsilon']!r})",
+              file=sys.stderr)
+        return 1
     if report["speedup_mean"] < 1.5:
         print("FAIL: speedup below the 1.5x acceptance threshold",
               file=sys.stderr)

@@ -171,12 +171,14 @@ def synthesize_with_field(
 
     ``warm_values`` is an optional ``{pattern: value}`` map (typically the
     ``values`` of a previously synthesized strategy for the same job) used
-    to seed value iteration.  It is applied only to *reward* queries, where
-    the stochastic-shortest-path iteration converges to the unique fixpoint
-    from any nonnegative seed; probability queries need a least-fixpoint
-    seed from below and are always cold-started here (see
-    ``solve_reach_avoid_probability``).  States absent from the map start
-    cold at zero, so partial overlap after a health change is fine.
+    to seed value iteration.  With the certified interval pipeline the seed
+    only ever warm-starts the *contracting* side of the bracket, so it is
+    safe for every objective; states absent from the map fill with the
+    side-neutral value (0 for ``Rmin``/``Pmax``, 1 for ``Pmin``), so
+    partial overlap after a health change is fine.  Seeds that fail the
+    solver's one-step Bellman validation are silently dropped
+    (``vi.warm.rejected``) — a wrong seed can cost the warm start, never
+    soundness.
     """
     query = query if query is not None else reward_query()
     perf.incr("synthesis.count")
@@ -197,15 +199,14 @@ def synthesize_with_field(
     t1 = time.perf_counter()
 
     initial_values: np.ndarray | None = None
-    if (
-        warm_values
-        and isinstance(model, CompiledRoutingModel)
-        and query.objective in (Objective.RMIN, Objective.RMAX)
-    ):
+    if warm_values and isinstance(model, CompiledRoutingModel):
         # Map by state identity, not index: a health change alters state
         # discovery, so the same pattern can sit at a different index.
+        # Absent states fill with the side-neutral value for the seeded
+        # bound: 1 for the Pmin upper iterate, 0 everywhere else.
+        fill = 1.0 if query.objective is Objective.PMIN else 0.0
         initial_values = np.fromiter(
-            (warm_values.get(s, 0.0) for s in model.states),
+            (warm_values.get(s, fill) for s in model.states),
             dtype=float,
             count=compiled.num_states,
         )
@@ -231,6 +232,7 @@ def synthesize_with_field(
                 avoid=query.formula.avoid_label,
                 maximize=query.objective is Objective.PMAX,
                 epsilon=epsilon,
+                initial_values=initial_values,
             )
             probability = float(result.values[compiled.initial])
             expected = float("inf") if probability == 0.0 else float("nan")

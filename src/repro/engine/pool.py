@@ -53,7 +53,11 @@ from repro.core.synthesis import (
     synthesize_with_field,
 )
 from repro.core.transitions import MatrixForceField
-from repro.engine.payload import warm_values_from_payload, warm_values_to_payload
+from repro.engine.payload import (
+    side_for_objective,
+    warm_values_from_payload,
+    warm_values_to_payload,
+)
 from repro.engine.store import StrategyStore
 from repro.modelcheck.properties import Query
 
@@ -68,13 +72,22 @@ def _worker_synthesize(payload: dict) -> dict:
     """
     job = job_from_payload(payload["job"])
     field = MatrixForceField(np.asarray(payload["forces"], dtype=float))
+    query = payload["query"]
+    # Validate the seed's bounding side against the query it will warm:
+    # a mismatch is a submission bug and must fail here, not silently
+    # degrade into a rejected seed inside the solver.
+    expected_side = side_for_objective(
+        None if query is None else query.objective
+    )
     result = synthesize_with_field(
         job,
         field,
-        query=payload["query"],
+        query=query,
         max_aspect=payload["max_aspect"],
         epsilon=payload["epsilon"],
-        warm_values=warm_values_from_payload(payload["warm_values"]),
+        warm_values=warm_values_from_payload(
+            payload["warm_values"], expected_side=expected_side
+        ),
     )
     strategy = strategy_from_synthesis(job, result)
     return {
@@ -209,7 +222,12 @@ class SynthesisEngine:
             "query": self.query,
             "max_aspect": self.max_aspect,
             "epsilon": self.epsilon,
-            "warm_values": warm_values_to_payload(warm_values),
+            "warm_values": warm_values_to_payload(
+                warm_values,
+                side=side_for_objective(
+                    None if self.query is None else self.query.objective
+                ),
+            ),
         }
         with obs.span("engine.submit", job=job_key):
             future = self._executor.submit(_worker_synthesize, payload)

@@ -45,7 +45,10 @@ from repro.modelcheck.properties import Query
 
 #: Bump when the payload layout or key derivation changes; old rows become
 #: unreachable (different key space) and age out via the LRU bound.
-STORE_SCHEMA_VERSION = 1
+#: v2: solver values are interval-certified midpoints and warm-seed wire
+#: payloads are side-tagged, so v1 entries (uncertified plain-VI values)
+#: must not be replayed.
+STORE_SCHEMA_VERSION = 2
 
 #: Default on-disk location, honouring ``XDG_CACHE_HOME``.
 DEFAULT_STORE_DIR = "repro"

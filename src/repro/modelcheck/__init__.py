@@ -6,6 +6,7 @@ turn-based stochastic-game values for the full MEDA SMG.
 """
 
 from repro.modelcheck.export import export_prism_explicit, import_prism_explicit
+from repro.modelcheck.interval import IntervalSolution, NonConvergence
 from repro.modelcheck.games import (
     game_reach_avoid_probability,
     game_reach_avoid_reward,
@@ -24,9 +25,11 @@ from repro.modelcheck.properties import (
     probability_query,
     reward_query,
 )
+from repro.modelcheck.precompute import QualitativeSets, qualitative
 from repro.modelcheck.reachability import (
     ValueResult,
     prob1e,
+    qualitative_sets,
     reach_avoid_probability,
     reachable_states,
 )
@@ -39,8 +42,11 @@ __all__ = [
     "PLAYER_ENVIRONMENT",
     "SMG",
     "Choice",
+    "IntervalSolution",
     "MemorylessStrategy",
+    "NonConvergence",
     "Objective",
+    "QualitativeSets",
     "Query",
     "ReachAvoid",
     "ValueResult",
@@ -51,6 +57,8 @@ __all__ = [
     "import_prism_explicit",
     "prob1e",
     "probability_query",
+    "qualitative",
+    "qualitative_sets",
     "reach_avoid_probability",
     "reachable_states",
     "reward_query",

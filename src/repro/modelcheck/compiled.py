@@ -11,11 +11,33 @@ into flat numpy/scipy-sparse arrays:
 * ``transitions`` — a ``(num_choices, num_states)`` CSR matrix of successor
   probabilities.
 
-One Jacobi value-iteration sweep is then a sparse mat-vec plus a scatter
-min/max — microseconds instead of milliseconds.  The pure-Python solvers in
-:mod:`repro.modelcheck.reachability` / :mod:`repro.modelcheck.rewards` remain
-as reference implementations; the unit tests check agreement between the two
-on randomized models.
+Solving is a *sound* three-stage pipeline (see :mod:`.precompute` and
+:mod:`.interval`):
+
+1. **qualitative precomputation** pins every state whose value is exactly
+   0 or 1 from the graph alone (``prob0``/``prob1`` under both ``Pmax``
+   and ``Pmin`` semantics), which both removes the non-contracting end
+   components that made plain ``Pmin`` iteration diverge and gives the
+   numeric stage a unique fixpoint;
+2. **interval value iteration** brackets the remaining states between a
+   monotone lower and upper iterate, so every :class:`ValueResult` carries
+   certified ``lower``/``upper`` arrays with ``gap <= epsilon``;
+3. **topological SCC ordering** solves the unknown region one condensation
+   level at a time, successors first.
+
+Warm-start seeds are *validated*, not trusted: values outside the
+documented bound raise ``ValueError``, non-finite entries are filled with
+the side-correct neutral value (0 for a lower/least-fixpoint side, 1 for
+the ``Pmin`` upper side), and the surviving candidate is accepted only if
+one Bellman application confirms it bounds the fixpoint from its side
+(rejections cold-start and count as ``vi.warm.rejected``).
+
+The pure-Python solvers in :mod:`repro.modelcheck.reachability` /
+:mod:`repro.modelcheck.rewards` remain as reference implementations; the
+unit tests check agreement between the two on randomized models.
+``certified=False`` switches to the legacy single-sided sweep loop — kept
+only as the ablation baseline for ``benchmarks/bench_interval.py``; its
+stopping criterion proves nothing about the true error.
 """
 
 from __future__ import annotations
@@ -26,6 +48,7 @@ import numpy as np
 from scipy import sparse
 
 from repro import perf
+from repro.modelcheck import interval, precompute
 from repro.modelcheck.model import MDP
 from repro.modelcheck.reachability import (
     DEFAULT_EPSILON,
@@ -118,7 +141,7 @@ def _mask(n: int, members: set[int]) -> np.ndarray:
 def _scatter_opt(
     owners: np.ndarray, q: np.ndarray, n: int, maximize: bool
 ) -> np.ndarray:
-    """Per-state optimum of per-choice values ``q`` (NaN for choiceless)."""
+    """Per-state optimum of per-choice values ``q`` (±inf for choiceless)."""
     out = np.full(n, -np.inf if maximize else np.inf)
     if maximize:
         np.maximum.at(out, owners, q)
@@ -147,6 +170,71 @@ def _argopt_choice(
     return choice
 
 
+def _sanitize_probability_seed(
+    initial_values: np.ndarray, n: int, maximize: bool
+) -> np.ndarray:
+    """Validate a probability warm-start seed.
+
+    Finite entries must respect the documented ``[0, 1]`` bound (a gross
+    violation raises instead of being silently clipped — it means the
+    caller handed values from the wrong query).  Non-finite entries are
+    filled *side-correctly*: 0 for the ``Pmax`` lower side, 1 for the
+    ``Pmin`` upper side — a 0-fill under ``Pmin`` would sit below the
+    greatest fixpoint and stall the old one-sided iteration on a spurious
+    fixpoint.
+    """
+    seed = np.asarray(initial_values, dtype=float)
+    if seed.shape != (n,):
+        raise ValueError(
+            f"warm-start seed has shape {seed.shape}, expected ({n},)"
+        )
+    finite = np.isfinite(seed)
+    if bool(np.any(finite & ((seed < -1e-9) | (seed > 1.0 + 1e-9)))):
+        raise ValueError(
+            "probability warm-start seed has entries outside [0, 1]"
+        )
+    fill = 0.0 if maximize else 1.0
+    return np.where(finite, np.clip(seed, 0.0, 1.0), fill)
+
+
+def _sanitize_reward_seed(initial_values: np.ndarray, n: int) -> np.ndarray:
+    """Validate a reward warm-start seed (lower side: non-negative)."""
+    seed = np.asarray(initial_values, dtype=float)
+    if seed.shape != (n,):
+        raise ValueError(
+            f"warm-start seed has shape {seed.shape}, expected ({n},)"
+        )
+    finite = np.isfinite(seed)
+    if bool(np.any(finite & (seed < -1e-9))):
+        raise ValueError("reward warm-start seed has negative entries")
+    return np.where(finite, np.maximum(seed, 0.0), 0.0)
+
+
+def _extract(
+    cm: CompiledMDP,
+    values: np.ndarray,
+    choice_mask: np.ndarray,
+    rewards: np.ndarray | None,
+    maximize: bool,
+) -> np.ndarray:
+    """Greedy strategy (global choice indices) from converged values."""
+    n = cm.num_states
+    owners = cm.choice_state
+    t = cm.transitions
+    if t.shape[0] != cm.num_choices:
+        t = t[: cm.num_choices]
+    q = t @ values
+    if rewards is not None:
+        q = rewards + q
+    per_state = _scatter_opt(owners[choice_mask], q[choice_mask], n, maximize)
+    choice = _argopt_choice(owners[choice_mask], q[choice_mask], per_state, n)
+    mask_idx = np.flatnonzero(choice_mask)
+    remapped = np.full(n, -1, dtype=np.int64)
+    has = choice >= 0
+    remapped[has] = mask_idx[choice[has]]
+    return remapped
+
+
 def solve_reach_avoid_probability(
     cm: CompiledMDP,
     goal: str = "goal",
@@ -155,59 +243,125 @@ def solve_reach_avoid_probability(
     epsilon: float = DEFAULT_EPSILON,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     initial_values: np.ndarray | None = None,
+    certified: bool = True,
 ) -> ValueResult:
     """Vectorized ``Pmax``/``Pmin`` of ``[] !avoid && <> goal``.
 
-    ``initial_values`` warm-starts value iteration.  Because the objective
-    is a *least* fixpoint (``Pmax``) / *greatest* fixpoint (``Pmin``) of
-    the Bellman operator, the seed must bound the true values from the
-    iteration's side — pointwise **below** for ``maximize=True``, above
-    for ``maximize=False`` — or the iteration may stall on a spurious
-    fixpoint (e.g. a self-loop holding a stale probability).  Values are
-    clipped to ``[0, 1]`` and goal/avoid states are re-pinned; seeds for
-    those states are ignored.
+    The default pipeline is sound: qualitative precomputation pins the
+    exact-0/exact-1 states, then interval value iteration brackets the rest
+    between monotone bounds, so the result's ``lower``/``upper`` satisfy
+    ``lower <= P <= upper`` pointwise with ``max(upper - lower) <= epsilon``
+    and ``values`` is their midpoint (within ``epsilon/2`` of the truth).
+
+    ``initial_values`` warm-starts the contracting side (lower for
+    ``Pmax``, upper for ``Pmin``).  Seeds are validated: finite entries
+    outside ``[0, 1]`` raise ``ValueError``; non-finite entries fill
+    side-correctly; the candidate (relaxed by ``epsilon`` toward its side)
+    is kept only when one Bellman application confirms it bounds the
+    fixpoint, otherwise the solve silently cold-starts
+    (``vi.warm.rejected``).
+
+    ``certified=False`` runs the legacy single-sided sweep loop (no
+    precomputation, no bounds) — ablation use only; it diverges on models
+    with goal-dodging end components (hypothesis seed 1186).
     """
     goal_mask = cm.label_mask(goal)
     avoid_mask = cm.label_mask(avoid)
     if np.any(goal_mask & avoid_mask):
         raise ValueError("goal and avoid labels overlap")
     n = cm.num_states
-    frozen = goal_mask | avoid_mask
-    values = np.where(goal_mask, 1.0, 0.0)
+    seed: np.ndarray | None = None
     if initial_values is not None:
-        seed = np.clip(np.nan_to_num(np.asarray(initial_values, dtype=float),
-                                     nan=0.0, posinf=1.0, neginf=0.0), 0.0, 1.0)
-        values = np.where(frozen, values, seed)
+        seed = _sanitize_probability_seed(initial_values, n, maximize)
         perf.incr("vi.probability.warm_solves")
     else:
         perf.incr("vi.probability.cold_solves")
+
+    if not certified:
+        return _solve_probability_plain(
+            cm, goal_mask, avoid_mask, maximize, epsilon, max_iterations, seed
+        )
+
+    sets = precompute.qualitative(cm, goal_mask, avoid_mask, maximize)
+    solution = interval.solve_probability_interval(
+        cm,
+        zero=sets.zero,
+        one=sets.one,
+        maximize=maximize,
+        epsilon=epsilon,
+        max_iterations=max_iterations,
+        seed=seed,
+    )
+    values = 0.5 * (solution.lower + solution.upper)
+    frozen = goal_mask | avoid_mask
+    remapped = _extract(cm, values, ~frozen[cm.choice_state], None, maximize)
+    remapped[frozen] = -1
+    # The extraction Bellman application counts as an iteration, so even a
+    # fully precomputed solve reports >= 1.
+    iterations = solution.iterations + 1
+    perf.incr("vi.probability.iterations", iterations)
+    perf.incr("vi.interval.iters", solution.iterations)
+    perf.observe("vi.interval.gap", solution.gap, bounds=GAP_BUCKETS)
+    return ValueResult(
+        values=values,
+        choice=_to_local(cm, remapped),
+        iterations=iterations,
+        lower=solution.lower,
+        upper=solution.upper,
+    )
+
+
+def _solve_probability_plain(
+    cm: CompiledMDP,
+    goal_mask: np.ndarray,
+    avoid_mask: np.ndarray,
+    maximize: bool,
+    epsilon: float,
+    max_iterations: int,
+    seed: np.ndarray | None,
+) -> ValueResult:
+    """Legacy one-sided sweep loop (uncertified; ablation baseline).
+
+    Keeps the satellite fixes — side-correct seed fill happens in
+    :func:`_sanitize_probability_seed` and trap states (no live choice) are
+    pinned to 0 instead of retaining stale seed values behind the
+    ``isfinite`` scatter mask — but its ``delta < epsilon`` stop is still
+    only a heuristic and it diverges on goal-dodging end components.
+    """
+    n = cm.num_states
+    frozen = goal_mask | avoid_mask
     owners = cm.choice_state
-    live = ~frozen[owners]  # choices of non-frozen states
+    live = ~frozen[owners]
+    has_live = np.zeros(n, dtype=bool)
+    has_live[owners[live]] = True
+    trap = ~has_live & ~frozen  # pinned to 0: the run can never reach goal
+
+    values = np.where(goal_mask, 1.0, 0.0)
+    if seed is not None:
+        values = np.where(frozen | trap, values, seed)
 
     iterations = 0
     for iterations in range(1, max_iterations + 1):
         q = cm.transitions @ values
         per_state = _scatter_opt(owners[live], q[live], n, maximize)
         updatable = np.isfinite(per_state) & ~frozen
-        delta = np.max(np.abs(per_state[updatable] - values[updatable])) if updatable.any() else 0.0
+        delta = (
+            np.max(np.abs(per_state[updatable] - values[updatable]))
+            if updatable.any()
+            else 0.0
+        )
         values[updatable] = per_state[updatable]
         if delta < epsilon:
             break
-    else:  # pragma: no cover
-        raise RuntimeError("value iteration did not converge")
+    else:
+        raise interval.NonConvergence("value iteration did not converge")
     perf.incr("vi.probability.iterations", iterations)
 
-    q = cm.transitions @ values
-    per_state = _scatter_opt(owners[live], q[live], n, maximize)
-    choice = _argopt_choice(owners[live], q[live], per_state, n)
-    # Remap the choice indices (positions within the live subset) back to
-    # global choice numbering.
-    live_idx = np.flatnonzero(live)
-    remapped = np.full(n, -1, dtype=np.int64)
-    has = choice >= 0
-    remapped[has] = live_idx[choice[has]]
+    remapped = _extract(cm, values, live, None, maximize)
     remapped[frozen] = -1
-    return ValueResult(values=values, choice=_to_local(cm, remapped), iterations=iterations)
+    return ValueResult(
+        values=values, choice=_to_local(cm, remapped), iterations=iterations
+    )
 
 
 def solve_prob1e(
@@ -215,36 +369,33 @@ def solve_prob1e(
 ) -> np.ndarray:
     """Boolean mask of states with a strategy reaching ``goal`` w.p. 1.
 
-    Vectorized nested fixpoint ``nu Z. mu Y. goal | Pre(Z, Y)`` using the
-    boolean structure of the transition matrix.
+    Thin wrapper over :func:`repro.modelcheck.precompute.prob1e_mask` (the
+    vectorized nested fixpoint ``nu Z. mu Y. goal | Pre(Z, Y)``), kept for
+    API compatibility.
     """
-    goal_mask = cm.label_mask(goal)
-    avoid_mask = cm.label_mask(avoid)
+    return precompute.prob1e_mask(
+        cm, cm.label_mask(goal), cm.label_mask(avoid)
+    )
+
+
+def _reward_region(
+    cm: CompiledMDP, goal_mask: np.ndarray, avoid_mask: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(goal_zero, active, usable)`` for total-reward solving.
+
+    ``usable`` restricts to choices whose support stays inside the
+    probability-one region (PRISM total-reward semantics: any chance of
+    leaving it means reward accrues forever on the non-reaching runs).
+    """
+    sure = precompute.prob1e_mask(cm, goal_mask, avoid_mask)
     n = cm.num_states
     owners = cm.choice_state
-    has_choice = np.zeros(n, dtype=bool)
-    has_choice[owners] = True
-    struct_t = (cm.transitions > 0).astype(np.int8)
-
-    z = ~avoid_mask & (goal_mask | has_choice)
-    while True:
-        y = goal_mask & z
-        while True:
-            # A choice is "safe" when all successors stay in z, "progressive"
-            # when some successor is already in y.
-            leaves_z = (struct_t @ (~z).astype(np.int8)) > 0
-            hits_y = (struct_t @ y.astype(np.int8)) > 0
-            good_choice = (~leaves_z) & hits_y & z[owners]
-            new_y = y.copy()
-            np.logical_or.at(new_y, owners[good_choice], True)
-            new_y &= z
-            new_y |= goal_mask & z
-            if np.array_equal(new_y, y):
-                break
-            y = new_y
-        if np.array_equal(y, z):
-            return z
-        z = y
+    struct = precompute.structure(cm)
+    stays = (struct @ (~sure).astype(np.int8)) == 0
+    usable = stays & sure[owners] & ~goal_mask[owners]
+    active = np.zeros(n, dtype=bool)
+    active[owners[usable]] = True
+    return goal_mask & sure, active, usable
 
 
 def solve_reach_avoid_reward(
@@ -255,64 +406,116 @@ def solve_reach_avoid_reward(
     epsilon: float = DEFAULT_EPSILON,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
     initial_values: np.ndarray | None = None,
+    certified: bool = True,
 ) -> ValueResult:
     """Vectorized ``Rmin``/``Rmax`` of cumulated reward until ``goal``.
 
-    States outside the probability-one region get ``inf`` (PRISM total-reward
-    semantics); the iteration is restricted to choices that stay inside it.
+    States outside the probability-one region get ``inf`` (PRISM
+    total-reward semantics); the iteration is restricted to choices that
+    stay inside it.  The default pipeline certifies the finite values with
+    optimistic value iteration: ``lower <= R <= upper`` pointwise with
+    ``max(upper - lower) <= epsilon`` over the finite region, and
+    ``values`` is the midpoint.
 
-    ``initial_values`` warm-starts value iteration for the active states;
-    goal states and states outside the probability-one region keep their
-    pinned values regardless of the seed.  For ``Rmin`` (a stochastic
-    shortest path with strictly positive cycle rewards, restricted to the
-    prob-1 region where a proper policy exists) value iteration converges
-    from *any* non-negative seed, so re-solving after a small model change
-    from the previous fixpoint is sound and typically takes a handful of
-    sweeps instead of hundreds.
+    ``initial_values`` warm-starts the lower iterate.  Negative finite
+    entries raise ``ValueError``; non-finite entries fill with 0 (the sound
+    lower start); the candidate (relaxed down by ``epsilon``) is verified
+    per SCC level with a Bellman application and dropped where it fails
+    (``vi.warm.rejected``).  Goal states and states outside the prob-1
+    region keep their pinned values regardless of the seed.
     """
     goal_mask = cm.label_mask(goal)
-    sure = solve_prob1e(cm, goal=goal, avoid=avoid)
+    avoid_mask = cm.label_mask(avoid)
     n = cm.num_states
-    owners = cm.choice_state
-    struct_t = (cm.transitions > 0).astype(np.int8)
-    stays = (struct_t @ (~sure).astype(np.int8)) == 0  # all successors in `sure`
-    usable = stays & sure[owners] & ~goal_mask[owners]
-
-    values = np.full(n, np.inf)
-    values[goal_mask & sure] = 0.0
-    active = np.zeros(n, dtype=bool)
-    active[owners[usable]] = True
-    values[active] = 0.0
+    seed: np.ndarray | None = None
     if initial_values is not None:
-        seed = np.nan_to_num(np.asarray(initial_values, dtype=float),
-                             nan=0.0, posinf=0.0, neginf=0.0)
-        values[active] = np.maximum(seed[active], 0.0)
+        seed = _sanitize_reward_seed(initial_values, n)
         perf.incr("vi.reward.warm_solves")
     else:
         perf.incr("vi.reward.cold_solves")
 
+    goal_zero, active, usable = _reward_region(cm, goal_mask, avoid_mask)
+
+    if not certified:
+        return _solve_reward_plain(
+            cm, goal_zero, active, usable, minimize, epsilon,
+            max_iterations, seed,
+        )
+
+    solution = interval.solve_reward_interval(
+        cm,
+        goal_zero=goal_zero,
+        active=active,
+        usable=usable,
+        minimize=minimize,
+        epsilon=epsilon,
+        max_iterations=max_iterations,
+        seed=seed,
+    )
+    values = np.where(
+        np.isfinite(solution.lower) & np.isfinite(solution.upper),
+        0.5 * (solution.lower + solution.upper),
+        solution.lower,
+    )
+    remapped = _extract(cm, values, usable, cm.choice_reward, not minimize)
+    iterations = solution.iterations + 1
+    perf.incr("vi.reward.iterations", iterations)
+    perf.incr("vi.interval.iters", solution.iterations)
+    perf.observe("vi.interval.gap", solution.gap, bounds=GAP_BUCKETS)
+    return ValueResult(
+        values=values,
+        choice=_to_local(cm, remapped),
+        iterations=iterations,
+        lower=solution.lower,
+        upper=solution.upper,
+    )
+
+
+def _solve_reward_plain(
+    cm: CompiledMDP,
+    goal_zero: np.ndarray,
+    active: np.ndarray,
+    usable: np.ndarray,
+    minimize: bool,
+    epsilon: float,
+    max_iterations: int,
+    seed: np.ndarray | None,
+) -> ValueResult:
+    """Legacy one-sided reward sweep loop (uncertified; ablation baseline)."""
+    n = cm.num_states
+    owners = cm.choice_state
+    values = np.full(n, np.inf)
+    values[goal_zero] = 0.0
+    values[active] = 0.0
+    if seed is not None:
+        values[active] = seed[active]
+
     iterations = 0
     for iterations in range(1, max_iterations + 1):
         q = cm.choice_reward + cm.transitions @ values
-        per_state = _scatter_opt(owners[usable], q[usable], n, maximize=not minimize)
+        per_state = _scatter_opt(
+            owners[usable], q[usable], n, maximize=not minimize
+        )
         delta = (
-            np.max(np.abs(per_state[active] - values[active])) if active.any() else 0.0
+            np.max(np.abs(per_state[active] - values[active]))
+            if active.any()
+            else 0.0
         )
         values[active] = per_state[active]
         if delta < epsilon:
             break
-    else:  # pragma: no cover
-        raise RuntimeError("reward iteration did not converge")
+    else:
+        raise interval.NonConvergence("reward iteration did not converge")
     perf.incr("vi.reward.iterations", iterations)
 
-    q = cm.choice_reward + cm.transitions @ values
-    per_state = _scatter_opt(owners[usable], q[usable], n, maximize=not minimize)
-    choice = _argopt_choice(owners[usable], q[usable], per_state, n)
-    usable_idx = np.flatnonzero(usable)
-    remapped = np.full(n, -1, dtype=np.int64)
-    has = choice >= 0
-    remapped[has] = usable_idx[choice[has]]
-    return ValueResult(values=values, choice=_to_local(cm, remapped), iterations=iterations)
+    remapped = _extract(cm, values, usable, cm.choice_reward, not minimize)
+    return ValueResult(
+        values=values, choice=_to_local(cm, remapped), iterations=iterations
+    )
+
+
+#: Histogram buckets for certified-gap observations (``vi.interval.gap``).
+GAP_BUCKETS = (1e-12, 1e-10, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-2, 1.0)
 
 
 def _to_local(cm: CompiledMDP, global_choice: np.ndarray) -> np.ndarray:

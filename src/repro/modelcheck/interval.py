@@ -1,0 +1,1082 @@
+"""Certified interval value iteration over compiled MDPs.
+
+Plain value iteration stops when one sweep moves no value by more than
+``epsilon`` — a criterion that says nothing about the distance to the true
+fixpoint (a rate-``1 - 1e-6`` contraction can sit ``1e6 * epsilon`` away
+while passing it).  This module replaces that with *certified* solving:
+
+* **Interval iteration** (Haddad–Monmege): maintain a lower iterate started
+  from 0 and an upper iterate started from 1 (probabilities), each updated
+  monotonically (``l <- max(l, Phi(l))``, ``u <- min(u, Phi(u))``).  Both
+  bracket the true value at every sweep, so ``u - l <= epsilon`` is a real
+  error certificate.  Uniqueness of the fixpoint — required for the upper
+  iterate to descend all the way — is guaranteed by the qualitative
+  prob0/prob1 pinning done by the caller (:mod:`.precompute`) plus, for
+  ``Pmax``, end-component *deflation* (Kelmendi/Kretinsky/Weininger): each
+  sweep caps the upper values of every maximal end component by its best
+  exit value, destroying the spurious fixpoints ECs otherwise sustain.
+
+* **Optimistic value iteration** (Hartmanns–Kaminski) for expected total
+  rewards, where there is no natural finite upper starting point: converge
+  the lower iterate, guess ``u = l + d``, and verify the guess by checking
+  ``Phi(u) <= u`` pointwise — which, the fixpoint being unique on the
+  pinned system, proves ``u`` is a true upper bound.  Failed guesses grow
+  ``d`` geometrically and retry.
+
+* **Verified Aitken acceleration** for slowly mixing components (escape
+  mass ``q`` per sweep means plain iteration needs ``~log(eps)/log(1-q)``
+  sweeps).  Periodically each state extrapolates its own geometric limit
+  from two consecutive sweep deltas (``est = v + d * rho / (1 - rho)``
+  with per-state ``rho = d_k / d_{k-1}``), the estimate is *smoothed* by a
+  few plain Bellman applications (the extrapolation cancels the dominant
+  error mode; what remains is subdominant and decays fast), and bound
+  candidates ``est -/+ delta`` — with ``delta`` scaled to the smoothed
+  estimate's own residual — are accepted only when one Bellman application
+  certifies them (``Phi(c) >= c`` below, ``Phi(c) <= c`` above, under the
+  deflated operator where deflation is in play).  A candidate that fails
+  is discarded and plain sweeping continues — acceleration never weakens
+  the certificate, it only jumps the bracket when the jump is provably
+  safe.
+
+* **Topological SCC ordering**: the unknown states are decomposed into
+  strongly connected components (``scipy.sparse.csgraph``) and solved one
+  condensation level at a time, successors first.  Acyclic layers — the
+  common case in frontier-restricted routing models — resolve in one
+  sweep each instead of participating in global sweeps, and each level
+  iterates against already-certified successor bounds.  Per-level gap
+  targets increase strictly with the level (``epsilon * (1/2 + ...)``),
+  which keeps termination guaranteed: a level's achievable gap is bounded
+  by its successors' (smaller) certified gap.
+
+The module is deliberately free of model/label handling — callers hand in
+masks and get an :class:`IntervalSolution` back; :mod:`.compiled` owns the
+public query API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import csgraph
+from scipy.sparse import linalg as sparse_linalg
+
+from repro import perf
+
+#: Pointwise slack for Bellman-domination checks (seed verification, OVI
+#: acceptance, extrapolation acceptance); scaled by ``1 + |value|`` so it
+#: stays meaningful for rewards.
+_CHECK_RTOL = 1e-12
+
+#: Sweeps spent trying to verify one OVI guess before growing the offset.
+_OVI_VERIFY_SWEEPS = 12
+
+#: Growth factor for the OVI offset after a failed verification.
+_OVI_GROWTH = 8.0
+
+#: Sweeps between Aitken acceleration attempts.  Solves that finish within
+#: one window — the common warm-started production case — never pay for
+#: acceleration at all.
+_EXTRAP_EVERY = 32
+
+#: Plain Bellman applications smoothing an extrapolated estimate before
+#: bound candidates are built from it.  The extrapolation cancels the
+#: dominant (slow) error mode; smoothing damps the per-state noise that
+#: would otherwise straddle the fixpoint and fail the pointwise checks.
+_SMOOTH_SWEEPS = 8
+
+#: Growth factor between the two slack rungs tried per acceleration
+#: attempt (candidates ``est -/+ delta`` and ``est -/+ 64 delta``).
+_SLACK_GROWTH = 64.0
+
+#: Largest SCC block whose policy-iteration linear systems are solved
+#: densely (``np.linalg.solve``).  Slowly mixing blocks — escape mass per
+#: sweep near zero — make any sweep-based scheme crawl; a policy's exact
+#: value costs one solve and verifies immediately, so direct solving
+#: skips iteration entirely.  Above this size the dense ``O(n^3)``
+#: factorization loses to sparsity, so policy iteration switches to a
+#: sparse LU of ``I - P_pi`` (the routing MDPs have a handful of
+#: successors per choice, so fill-in stays benign).
+_DIRECT_MAX = 512
+
+#: Largest SCC block attempted by sparse-LU policy iteration before
+#: falling back to accelerated sweeping outright.  Grid-local transition
+#: structure keeps LU fill-in near-linear well past this size; the cap
+#: only guards against pathological dense-ish blocks where factorization
+#: could dwarf the sweeps it replaces.
+_SPARSE_DIRECT_MAX = 65536
+
+#: Policy-improvement rounds before the direct solver gives up.
+_PI_MAX_ROUNDS = 64
+
+#: Value-iteration prelude inside the direct solver: greedy policies
+#: stabilize long before values converge, and a sweep costs a sparse
+#: matvec while a policy evaluation costs an LU factorization.  Most
+#: prelude sweeps update values only (one segment reduction); every
+#: ``_PI_PRELUDE_CHECK`` sweeps the greedy policy is extracted and a held
+#: policy updated by policy iteration's own rule — switch a state only on
+#: *strict* q-improvement beyond the check margin, so ties between
+#: equivalent actions cannot flap the policy forever.  After
+#: ``_PI_PRELUDE_STABLE`` consecutive improvement-free checks the held
+#: policy goes to policy iteration, which then typically accepts it after
+#: a single exact solve.
+_PI_PRELUDE_CHECK = 4
+_PI_PRELUDE_STABLE = 1
+
+#: Sweep cap for one settling stretch; a policy that has not stopped
+#: improving by then is handed to policy iteration as-is (the exact
+#: solves take over the remaining improvement).
+_PI_PRELUDE_MAX = 256
+
+
+@dataclass(frozen=True)
+class IntervalSolution:
+    """Certified bounds: ``lower <= value <= upper`` pointwise.
+
+    ``iterations`` counts Bellman applications across all levels (sweeps
+    plus seed-verification, OVI-verification, smoothing and
+    acceptance-check applications); ``levels`` is the number of
+    condensation levels the unknown region decomposed into.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+    iterations: int
+    levels: int
+
+    @property
+    def gap(self) -> float:
+        finite = np.isfinite(self.lower) & np.isfinite(self.upper)
+        if not finite.any():
+            return 0.0
+        return float(np.max(self.upper[finite] - self.lower[finite]))
+
+
+class NonConvergence(RuntimeError):
+    """The iteration budget ran out before the gap closed."""
+
+
+def _rows(cm) -> sparse.csr_matrix:
+    """Transition matrix without the padding row of a choiceless model."""
+    t = cm.transitions
+    if t.shape[0] != cm.num_choices:
+        t = t[: cm.num_choices]
+    return t
+
+
+def _entries(cm) -> tuple[np.ndarray, np.ndarray]:
+    """COO view ``(choice_row, successor_col)`` of the real transitions."""
+    t = _rows(cm)
+    indptr = t.indptr
+    cols = t.indices
+    rows = np.repeat(np.arange(t.shape[0], dtype=np.int64), np.diff(indptr))
+    return rows, cols
+
+
+def _opt(owners: np.ndarray, q: np.ndarray, n: int, maximize: bool) -> np.ndarray:
+    """Per-state optimum of per-choice values (±inf where no choice)."""
+    out = np.full(n, -np.inf if maximize else np.inf)
+    if maximize:
+        np.maximum.at(out, owners, q)
+    else:
+        np.minimum.at(out, owners, q)
+    return out
+
+
+def _make_opt(own: np.ndarray, n: int, maximize: bool):
+    """A per-state optimum operator specialized to one choice block.
+
+    Compiled models group choices by owner state, so a block's ``own``
+    array is sorted and its per-owner segments are contiguous: the
+    scatter-reduce collapses to one ``reduceat`` over segment starts
+    computed once per level — several times faster than ``np.maximum.at``,
+    which re-derives the grouping on every sweep.  Unsorted blocks (never
+    produced by :func:`compiled.compile_mdp`; kept as a correctness net)
+    fall back to the generic scatter.
+    """
+    neutral = -np.inf if maximize else np.inf
+    if own.size == 0:
+        def empty(q: np.ndarray) -> np.ndarray:
+            return np.full(n, neutral)
+
+        return empty
+    if np.any(own[1:] < own[:-1]):  # pragma: no cover - defensive fallback
+        return lambda q: _opt(own, q, n, maximize)
+    starts = np.flatnonzero(np.r_[True, own[1:] != own[:-1]])
+    uniq = own[starts]
+    red = np.maximum.reduceat if maximize else np.minimum.reduceat
+
+    def opt(q: np.ndarray) -> np.ndarray:
+        out = np.full(n, neutral)
+        out[uniq] = red(q, starts)
+        return out
+
+    return opt
+
+
+def _scc_levels(
+    n: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    owners: np.ndarray,
+    state_mask: np.ndarray,
+    choice_mask: np.ndarray,
+) -> tuple[np.ndarray, int]:
+    """Topological levels of the masked sub-MDP, successors first.
+
+    Returns ``(level_of_state, num_levels)`` with ``level_of_state[s] = -1``
+    outside the mask.  States in level ``k`` only depend (transitively,
+    within the mask) on states in levels ``< k`` and on their own strongly
+    connected component.
+    """
+    sel = choice_mask[rows] & state_mask[cols]
+    src = owners[rows[sel]]
+    dst = cols[sel]
+    keep = state_mask[src] & (src != dst)
+    src, dst = src[keep], dst[keep]
+
+    adj = sparse.csr_matrix(
+        (np.ones(src.size, dtype=np.int8), (src, dst)), shape=(n, n)
+    )
+    ncomp, comp = csgraph.connected_components(
+        adj, directed=True, connection="strong"
+    )
+    csrc, cdst = comp[src], comp[dst]
+    cross = csrc != cdst
+    if cross.any():
+        key = csrc[cross].astype(np.int64) * ncomp + cdst[cross]
+        pairs = np.unique(key)
+        esrc = pairs // ncomp
+        edst = pairs % ncomp
+    else:
+        esrc = np.empty(0, dtype=np.int64)
+        edst = np.empty(0, dtype=np.int64)
+
+    relevant = np.zeros(ncomp, dtype=bool)
+    relevant[comp[state_mask]] = True
+    resolved = ~relevant
+    level_of_comp = np.full(ncomp, -1, dtype=np.int64)
+    active = np.ones(esrc.size, dtype=bool)
+    level = 0
+    while True:
+        outdeg = np.bincount(esrc[active], minlength=ncomp)
+        ready = ~resolved & (outdeg == 0)
+        if not ready.any():
+            break
+        level_of_comp[ready] = level
+        resolved |= ready
+        active &= ~resolved[edst]
+        level += 1
+    if not resolved.all():  # pragma: no cover - condensations are acyclic
+        level_of_comp[~resolved] = level
+        level += 1
+    level_of_state = np.where(state_mask, level_of_comp[comp], -1)
+    return level_of_state, level
+
+
+def _mec_info(
+    n: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    owners: np.ndarray,
+    state_mask: np.ndarray,
+    choice_mask: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Maximal end components of the masked sub-MDP.
+
+    Returns ``(mec_of_state, exit_mask, count)``: ``mec_of_state[s]`` is the
+    MEC id of ``s`` (-1 when ``s`` is in no MEC); ``exit_mask`` marks the
+    candidate choices owned by MEC states whose support leaves the MEC —
+    the choices deflation maximizes over.
+
+    Standard refinement: repeatedly drop choices that leak outside the
+    surviving states or cross SCCs, then drop states left without choices,
+    until stable.  Surviving SCCs are genuine end components (every
+    survivor owns a choice fully inside its component).
+    """
+    nc = owners.size
+    alive_s = state_mask.copy()
+    alive_c = choice_mask.copy()
+    comp = np.zeros(n, dtype=np.int64)
+    while True:
+        alive_c = alive_c & alive_s[owners]
+        leak = np.zeros(nc, dtype=bool)
+        np.logical_or.at(leak, rows[~alive_s[cols]], True)
+        alive_c = alive_c & ~leak
+        if not alive_c.any():
+            alive_s = np.zeros(n, dtype=bool)
+            break
+        sel = alive_c[rows]
+        src = owners[rows[sel]]
+        dst = cols[sel]
+        adj = sparse.csr_matrix(
+            (np.ones(src.size, dtype=np.int8), (src, dst)), shape=(n, n)
+        )
+        _, comp = csgraph.connected_components(
+            adj, directed=True, connection="strong"
+        )
+        cross = np.zeros(nc, dtype=bool)
+        np.logical_or.at(cross, rows[comp[owners[rows]] != comp[cols]], True)
+        new_c = alive_c & ~cross
+        new_s = np.zeros(n, dtype=bool)
+        new_s[owners[new_c]] = True
+        new_s &= alive_s
+        if np.array_equal(new_c, alive_c) and np.array_equal(new_s, alive_s):
+            break
+        alive_c, alive_s = new_c, new_s
+
+    mec_of_state = np.full(n, -1, dtype=np.int64)
+    if not alive_s.any():
+        return mec_of_state, np.zeros(nc, dtype=bool), 0
+    uniq, inv = np.unique(comp[alive_s], return_inverse=True)
+    mec_of_state[alive_s] = inv
+    exit_mask = choice_mask & alive_s[owners] & ~alive_c
+    return mec_of_state, exit_mask, int(uniq.size)
+
+
+def _deflate(
+    per_state: np.ndarray,
+    q_upper: np.ndarray,
+    idx: np.ndarray,
+    owners: np.ndarray,
+    mec_of_state: np.ndarray,
+    exit_mask: np.ndarray,
+    mec_count: int,
+) -> None:
+    """Cap each MEC's values by its best exit value (in place).
+
+    ``q_upper`` are the q-values of the choices ``idx`` (aligned with
+    ``idx``); exit choices among them bound what the MEC can achieve by
+    ever leaving, and a probability-1 ``Pmax`` MEC would have been pinned
+    by precomputation, so the cap is sound and removes the spurious
+    internal fixpoints.
+    """
+    ex = exit_mask[idx]
+    if not ex.any():
+        return
+    caps = np.full(mec_count, -np.inf)
+    np.maximum.at(caps, mec_of_state[owners[idx[ex]]], q_upper[ex])
+    states = np.flatnonzero(mec_of_state >= 0)
+    capped = caps[mec_of_state[states]]
+    usable_cap = np.isfinite(capped)
+    states = states[usable_cap]
+    np.minimum.at(per_state, states, capped[usable_cap])
+
+
+def _level_targets(epsilon: float, num_levels: int) -> np.ndarray:
+    """Strictly increasing per-level gap targets, all ``<= epsilon``.
+
+    A level's reachable gap is limited by its successors' certified gap;
+    giving earlier (successor) levels strictly tighter targets keeps every
+    level's own target reachable in finitely many sweeps.
+    """
+    k = np.arange(1, num_levels + 1, dtype=float)
+    return epsilon * (0.5 + 0.5 * k / num_levels)
+
+
+def _aitken(
+    values: np.ndarray, d: np.ndarray, prev_d: np.ndarray, toward_upper: bool
+) -> np.ndarray | None:
+    """Per-state geometric limit estimate from two consecutive deltas.
+
+    Each state extrapolates ``v + d * rho / (1 - rho)`` (added when the
+    iterate climbs, subtracted when it descends) with its own observed
+    ratio ``rho = d_k / d_{k-1}``.  Returns ``None`` when no state shows
+    geometric progress.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rho = np.where(prev_d > 0, d / prev_d, 0.0)
+    rho = np.clip(rho, 0.0, 1.0 - 1e-9)
+    if not (rho > 0).any():
+        return None
+    jump = d * (rho / (1.0 - rho))
+    return values + jump if toward_upper else values - jump
+
+
+def _argopt_idx(own: np.ndarray, q: np.ndarray, maximize: bool) -> np.ndarray:
+    """Index of each owner's best choice (deterministic tie-break).
+
+    Returns one entry per distinct owner, ordered by owner id — which for a
+    block whose every state owns a choice lines up with the sorted state
+    indices of the block.  Ties break toward the lowest choice index.
+    Compiled models group choices by owner, so the common path is two
+    segment reductions; unsorted owners fall back to a stable argsort.
+    """
+    if own.size == 0:
+        return np.empty(0, dtype=np.int64)
+    fast = _make_argopt(own)
+    if fast is not None:
+        return fast(q, maximize)
+    order = np.argsort(-q if maximize else q, kind="stable")
+    _, first = np.unique(own[order], return_index=True)
+    return order[first]
+
+
+def _make_argopt(own: np.ndarray):
+    """Per-owner argopt closure with the segment structure precomputed.
+
+    The structure (segment starts, segment ids, choice indices) depends
+    only on ``own``, so hot loops that argopt the same block every sweep
+    build it once.  Returns ``None`` when the owners are unsorted (the
+    caller falls back to :func:`_argopt_idx`'s argsort path).
+    """
+    if own.size == 0 or np.any(own[1:] < own[:-1]):
+        return None
+    newseg = np.r_[True, own[1:] != own[:-1]]
+    starts = np.flatnonzero(newseg)
+    seg = np.cumsum(newseg) - 1
+    idx = np.arange(own.size)
+
+    def argopt(q: np.ndarray, maximize: bool) -> np.ndarray:
+        red = np.maximum.reduceat if maximize else np.minimum.reduceat
+        best = red(q, starts)
+        cand = np.where(q == best[seg], idx, own.size)
+        return np.minimum.reduceat(cand, starts)
+
+    return argopt
+
+
+def _exit_policy(
+    states: np.ndarray,
+    Tsub: sparse.csr_matrix,
+    own: np.ndarray,
+    block: np.ndarray,
+) -> np.ndarray | None:
+    """A proper policy: each state steps toward the block's exits.
+
+    Backward BFS from the complement of ``block``: a state is assigned the
+    first choice whose support hits the already-reached set, so every
+    state's chosen action has positive probability of moving strictly
+    closer to leaving the block.  Returns choice indices (into the block's
+    choice arrays) aligned with sorted ``states``, or ``None`` if some
+    state cannot reach an exit (an absorbing block — its values diverge
+    and no proper policy exists).
+    """
+    support = Tsub > 0
+    joined = ~block
+    chosen = np.full(states.size, -1, dtype=np.int64)
+    pos = np.searchsorted(states, own)
+    while True:
+        hits = (support @ joined.astype(np.int8)) > 0
+        ready = np.flatnonzero(hits & (chosen[pos] == -1))
+        if ready.size == 0:
+            break
+        _, first = np.unique(own[ready], return_index=True)
+        sel = ready[first]
+        chosen[pos[sel]] = sel
+        joined = joined.copy()
+        joined[own[sel]] = True
+    return chosen if bool(np.all(chosen >= 0)) else None
+
+
+def _policy_fixpoint(
+    states: np.ndarray,
+    Tsub: sparse.csr_matrix,
+    rsub: np.ndarray,
+    own: np.ndarray,
+    outside: np.ndarray,
+    block: np.ndarray,
+    budget: "_Budget",
+    *,
+    maximize: bool,
+) -> np.ndarray | None:
+    """Exact block values by policy iteration with direct linear solves.
+
+    ``Tsub``/``rsub``/``own`` describe the block's choices; ``outside``
+    supplies certified values for successors outside the block (its
+    entries at ``states`` are overwritten).  Each round solves
+    ``(I - P_pi) x = r_pi + P_pi->outside`` for the current policy —
+    densely up to ``_DIRECT_MAX`` states, by sparse LU beyond that — and
+    improves it; improvement switches a state's action only on *strict*
+    q-value improvement, so starting from the proper exit policy the
+    iteration can never drift into an improper (forever-looping) policy
+    through ties, and a stable policy's value is the Bellman fixpoint to
+    machine precision.  Returns the last solvable iterate (``None`` when
+    no proper start exists or the first system is singular/non-finite);
+    the caller certifies the result before trusting it, so a stale or
+    garbage iterate merely fails verification.
+
+    The starting policy comes from a value-iteration prelude: greedy
+    policies settle long before values converge, and a sweep costs a
+    sparse matvec while a policy evaluation costs a factorization.  In
+    the sparse regime only the first evaluation factorizes; later rounds
+    solve iteratively, preconditioned by that factorization (consecutive
+    policies differ in few rows), and refactorize only when the iterative
+    solve stalls.  A prelude policy is not guaranteed proper (it can loop
+    inside the block), so a singular or non-finite evaluation restarts
+    once from the backward-BFS exit policy, which is.
+    """
+    Tblock = Tsub[:, states]
+    vals = outside.copy()
+    x0 = vals[states].copy()
+    x0[~np.isfinite(x0)] = 0.0
+    vals[states] = 0.0
+    base = rsub + Tsub @ vals
+    fast = _make_argopt(own)
+    argopt = fast if fast is not None else (
+        lambda q, m: _argopt_idx(own, q, m))
+    if fast is not None:
+        starts = np.flatnonzero(np.r_[True, own[1:] != own[:-1]])
+        vred = np.maximum.reduceat if maximize else np.minimum.reduceat
+
+    def settle(xi: np.ndarray, held: np.ndarray | None) -> np.ndarray | None:
+        """Sweep until the held policy sees no strict improvement."""
+        stable = 0
+        for k in range(_PI_PRELUDE_MAX):
+            budget.tick()
+            q = base + Tblock @ xi
+            if fast is not None and (k + 1) % _PI_PRELUDE_CHECK:
+                xi = vred(q, starts)
+                if xi.size != states.size:
+                    return None
+                continue
+            greedy = argopt(q, maximize)
+            if greedy.size != states.size:
+                return None
+            best = q[greedy]
+            xi = best
+            if held is None:
+                held = greedy
+                continue
+            cur = q[held]
+            margin = _CHECK_RTOL * (1.0 + np.abs(cur))
+            improve = ((best > cur + margin) if maximize
+                       else (best < cur - margin))
+            if improve.any():
+                held = np.where(improve, greedy, held)
+                stable = 0
+            else:
+                stable += 1
+                if stable >= _PI_PRELUDE_STABLE:
+                    break
+        return held
+
+    chosen = settle(x0, None)
+    fellback = chosen is None
+    if fellback:
+        chosen = _exit_policy(states, Tsub, own, block)
+        if chosen is None:
+            return None
+
+    x = None
+    lu = None
+    dense = states.size <= _DIRECT_MAX
+    eye = (np.eye(states.size) if dense
+           else sparse.identity(states.size, format="csr"))
+    for _ in range(_PI_MAX_ROUNDS):
+        budget.tick()
+        Ppi = Tblock[chosen]
+        xn = None
+        try:
+            if dense:
+                xn = np.linalg.solve(eye - Ppi.toarray(), base[chosen])
+            else:
+                A = (eye - Ppi).tocsc()
+                if lu is not None:
+                    # Consecutive policies differ in few rows, so the
+                    # previous round's factorization is an excellent
+                    # preconditioner — a handful of matvecs replace a
+                    # fresh factorization.
+                    xn, info = sparse_linalg.bicgstab(
+                        A, base[chosen], x0=x, rtol=1e-12, atol=0.0,
+                        maxiter=32,
+                        M=sparse_linalg.LinearOperator(A.shape, lu.solve),
+                    )
+                    if info != 0:
+                        xn = None
+                if xn is None:
+                    # splu raises RuntimeError on an exactly singular
+                    # factor (an improper policy trapped in the block).
+                    lu = sparse_linalg.splu(A)
+                    xn = lu.solve(base[chosen])
+        except (np.linalg.LinAlgError, RuntimeError):
+            xn = None
+            lu = None
+        if xn is None or not np.all(np.isfinite(xn)):
+            if fellback:
+                return x
+            fellback = True
+            chosen = _exit_policy(states, Tsub, own, block)
+            if chosen is None:
+                return x
+            continue
+        x = xn
+        q = base + Tblock @ x
+        greedy = argopt(q, maximize)
+        best = q[greedy]
+        cur = q[chosen]
+        margin = _CHECK_RTOL * (1.0 + np.abs(cur))
+        improve = (best > cur + margin) if maximize else (best < cur - margin)
+        if not improve.any():
+            return x
+        chosen = np.where(improve, greedy, chosen)
+    return x
+
+
+def _window_error(resid: float, norm_now: float, norm_then: float,
+                  window: int) -> float:
+    """Distance-to-fixpoint scale from a residual and a windowed rate.
+
+    The contraction rate is estimated as the geometric mean of the sweep
+    deltas over the attempt window — far more stable than single-step
+    ratios, whose noise near 1 explodes ``rho / (1 - rho)``.  Returns
+    ``inf`` when the window shows no geometric progress.
+    """
+    if not (0.0 < norm_now < norm_then):
+        return np.inf
+    rho = (norm_now / norm_then) ** (1.0 / window)
+    return resid * rho / (1.0 - rho)
+
+
+class _Budget:
+    """Shared application counter enforcing the caller's iteration cap."""
+
+    __slots__ = ("iterations", "max_iterations", "message")
+
+    def __init__(self, max_iterations: int, message: str) -> None:
+        self.iterations = 0
+        self.max_iterations = max_iterations
+        self.message = message
+
+    def tick(self) -> None:
+        if self.iterations >= self.max_iterations:
+            raise NonConvergence(self.message)
+        self.iterations += 1
+
+
+def _tighten(
+    lower: np.ndarray,
+    upper: np.ndarray,
+    block: np.ndarray,
+    phi_plain,
+    phi_check,
+    budget: _Budget,
+    *,
+    target: float,
+    hi: float,
+) -> None:
+    """Joint monotone tightening of ``lower``/``upper`` over ``block``.
+
+    ``phi_plain`` drives the sweeps; ``phi_check`` is the operator used for
+    certification (the deflated one under ``Pmax``, otherwise the same).
+    Every :data:`_EXTRAP_EVERY` sweeps the slower side's Aitken estimate is
+    smoothed and turned into verified bound candidates ``est -/+ delta``;
+    accepted candidates jump the bracket, rejected ones cost one check
+    application each and plain sweeping resumes.  Values are clipped to
+    ``[0, hi]``.
+    """
+    slack0 = target / 4.0
+    d_l = d_u = prev_d_l = prev_d_u = None
+    sweeps = 0
+    mark = 0
+    nl_mark = nu_mark = np.inf
+    while True:
+        if float(np.max(upper[block] - lower[block])) <= target:
+            return
+        budget.tick()
+        sweeps += 1
+        pl = phi_plain(lower)
+        pu = phi_check(upper)
+        new_l = np.maximum(lower[block], pl[block])
+        new_u = np.minimum(upper[block], pu[block])
+        prev_d_l, prev_d_u = d_l, d_u
+        d_l = new_l - lower[block]
+        d_u = upper[block] - new_u
+        lower[block] = new_l
+        upper[block] = new_u
+        if sweeps - mark < _EXTRAP_EVERY or prev_d_l is None:
+            continue
+        window = sweeps - mark
+        mark = sweeps
+        nl, nu = float(np.max(d_l)), float(np.max(d_u))
+        from_upper = nu >= nl
+        if from_upper:
+            guess = _aitken(upper[block], d_u, prev_d_u, toward_upper=False)
+            norm_now, norm_then = nu, nu_mark
+        else:
+            guess = _aitken(lower[block], d_l, prev_d_l, toward_upper=True)
+            norm_now, norm_then = nl, nl_mark
+        nl_mark, nu_mark = nl, nu
+        if guess is None:
+            continue
+        est = np.clip(guess, 0.0, hi)
+        # Smooth against the midpoint of the certified surroundings; the
+        # residual of the last application scales the candidate slack.
+        base = 0.5 * (lower + upper)
+        resid = np.inf
+        for _ in range(_SMOOTH_SWEEPS):
+            budget.tick()
+            vec = base.copy()
+            vec[block] = est
+            new_est = np.clip(phi_check(vec)[block], 0.0, hi)
+            resid = float(np.max(np.abs(new_est - est)))
+            est = new_est
+        err = _window_error(resid, norm_now, norm_then, window)
+        gap = float(np.max(upper[block] - lower[block]))
+        delta = max(slack0, min(err, gap / 4.0))
+        got_l = got_u = False
+        for _ in range(2):
+            if not got_l:
+                cand = np.maximum(lower[block], est - delta)
+                if float(np.max(cand - lower[block])) > 0.0:
+                    vec = lower.copy()
+                    vec[block] = cand
+                    budget.tick()
+                    tol = 2.0 * _CHECK_RTOL * (1.0 + float(np.max(np.abs(cand))))
+                    if bool(np.all(phi_check(vec)[block] >= cand - tol)):
+                        lower[block] = cand
+                        got_l = True
+            if not got_u:
+                cand = np.minimum(upper[block], np.clip(est + delta, 0.0, hi))
+                if float(np.max(upper[block] - cand)) > 0.0:
+                    vec = upper.copy()
+                    vec[block] = cand
+                    budget.tick()
+                    tol = 2.0 * _CHECK_RTOL * (1.0 + float(np.max(np.abs(cand))))
+                    if bool(np.all(phi_check(vec)[block] <= cand + tol)):
+                        upper[block] = cand
+                        got_u = True
+            delta *= _SLACK_GROWTH
+            if (got_l and got_u) or delta > gap:
+                break
+
+
+def solve_probability_interval(
+    cm,
+    *,
+    zero: np.ndarray,
+    one: np.ndarray,
+    maximize: bool,
+    epsilon: float,
+    max_iterations: int,
+    seed: np.ndarray | None = None,
+) -> IntervalSolution:
+    """Certified ``Pmax``/``Pmin`` bounds with prob0/prob1 pinning.
+
+    ``zero``/``one`` are the qualitative masks (pinned exactly); ``seed``
+    is an optional warm-start candidate for the contracting side (lower
+    for ``Pmax``, upper for ``Pmin``).  The seed is *verified* with one
+    Bellman application — accepted only when the (deflated, for ``Pmax``)
+    operator moves it toward the fixpoint, which proves it bounds the true
+    value from the right side — and silently dropped otherwise
+    (``vi.warm.rejected``).
+    """
+    n = cm.num_states
+    owners = cm.choice_state
+    lower = np.zeros(n)
+    upper = np.ones(n)
+    lower[one] = 1.0
+    upper[zero] = 0.0
+    unknown = ~(zero | one)
+    budget = _Budget(max_iterations, "value iteration did not converge")
+    if not unknown.any():
+        return IntervalSolution(lower, upper, budget.iterations, 0)
+
+    T = _rows(cm)
+    rows, cols = _entries(cm)
+    choice_mask = unknown[owners]
+    if maximize:
+        mec_of_state, exit_mask, mec_count = _mec_info(
+            n, rows, cols, owners, unknown, choice_mask
+        )
+    else:
+        mec_of_state = exit_mask = None
+        mec_count = 0
+
+    def make_ops(block_T, block_idx):
+        opt = _make_opt(owners[block_idx], n, maximize)
+
+        def plain(vec: np.ndarray) -> np.ndarray:
+            return opt(block_T @ vec)
+
+        def check(vec: np.ndarray) -> np.ndarray:
+            q = block_T @ vec
+            phi = opt(q)
+            if maximize and mec_count:
+                _deflate(phi, q, block_idx, owners, mec_of_state,
+                         exit_mask, mec_count)
+            return phi
+
+        return plain, check
+
+    if seed is not None:
+        all_idx = np.flatnonzero(choice_mask)
+        _, check_all = make_ops(T[all_idx], all_idx)
+        v = np.clip(seed - epsilon if maximize else seed + epsilon, 0.0, 1.0)
+        v[one] = 1.0
+        v[zero] = 0.0
+        phi = check_all(v)
+        budget.tick()
+        tol = 2.0 * _CHECK_RTOL
+        if maximize:
+            ok = bool(np.all(phi[unknown] >= v[unknown] - tol))
+        else:
+            ok = bool(np.all(phi[unknown] <= v[unknown] + tol))
+        if ok:
+            if maximize:
+                lower[unknown] = v[unknown]
+            else:
+                upper[unknown] = v[unknown]
+        else:
+            perf.incr("vi.warm.rejected")
+
+    level_of_state, num_levels = _scc_levels(
+        n, rows, cols, owners, unknown, choice_mask
+    )
+    targets = _level_targets(epsilon, num_levels)
+    for level in range(num_levels):
+        block = unknown & (level_of_state == level)
+        idx = np.flatnonzero(choice_mask & block[owners])
+        plain, check = make_ops(T[idx], idx)
+        target = float(targets[level])
+        states = np.flatnonzero(block)
+        if states.size <= _SPARSE_DIRECT_MAX:
+            x = _policy_fixpoint(
+                states, T[idx], np.zeros(idx.size), owners[idx],
+                0.5 * (lower + upper), block, budget, maximize=maximize,
+            )
+            if x is not None:
+                delta = target / 4.0
+                tol = 2.0 * _CHECK_RTOL
+                cl = np.maximum(np.clip(x - delta, 0.0, 1.0), lower[block])
+                vec = lower.copy()
+                vec[block] = cl
+                budget.tick()
+                if bool(np.all(check(vec)[block] >= cl - tol)):
+                    lower[block] = cl
+                cu = np.minimum(np.clip(x + delta, 0.0, 1.0), upper[block])
+                cu = np.maximum(cu, lower[block])
+                vec = upper.copy()
+                vec[block] = cu
+                budget.tick()
+                if bool(np.all(check(vec)[block] <= cu + tol)):
+                    upper[block] = cu
+        _tighten(lower, upper, block, plain, check, budget,
+                 target=target, hi=1.0)
+    # Rounding can cross the bounds by strictly less than one ulp of the
+    # sweep arithmetic; restore the invariant without moving either side
+    # beyond certification noise.
+    np.maximum(upper, lower, out=upper)
+    return IntervalSolution(lower, upper, budget.iterations, num_levels)
+
+
+def solve_reward_interval(
+    cm,
+    *,
+    goal_zero: np.ndarray,
+    active: np.ndarray,
+    usable: np.ndarray,
+    minimize: bool,
+    epsilon: float,
+    max_iterations: int,
+    seed: np.ndarray | None = None,
+) -> IntervalSolution:
+    """Certified expected-total-reward bounds (optimistic value iteration).
+
+    ``goal_zero`` marks states pinned at 0 (goal inside the prob-1 region),
+    ``active`` the states to iterate, ``usable`` the choices that stay in
+    the prob-1 region; everything else is ``inf`` on both sides (PRISM
+    total-reward semantics).  ``seed`` optionally warm-starts the lower
+    iterate; it is verified per level with one Bellman application and
+    dropped where it fails (``vi.warm.rejected``).
+
+    Restricted to ``usable`` choices the sub-MDP is goal-reaching under
+    proper policies; for minimization every policy in the restriction is
+    proper, making the fixpoint unique so the OVI acceptance check
+    (``Phi(u) <= u`` pointwise) certifies the upper bound.  For
+    maximization an end component inside the restriction makes the
+    supremum infinite; there the guesses never verify and the iteration
+    budget surfaces the divergence as :class:`NonConvergence` — the same
+    contract as the plain solver, now with an explicit mechanism.
+    """
+    n = cm.num_states
+    owners = cm.choice_state
+    lower = np.full(n, np.inf)
+    upper = np.full(n, np.inf)
+    lower[goal_zero] = 0.0
+    upper[goal_zero] = 0.0
+    lower[active] = 0.0
+    budget = _Budget(max_iterations, "reward iteration did not converge")
+    if not active.any():
+        return IntervalSolution(lower, upper, budget.iterations, 0)
+
+    T = _rows(cm)
+    rows, cols = _entries(cm)
+    rewards = cm.choice_reward
+    maximize = not minimize
+
+    level_of_state, num_levels = _scc_levels(
+        n, rows, cols, owners, active, usable
+    )
+    targets = _level_targets(epsilon, num_levels)
+    for level in range(num_levels):
+        block = active & (level_of_state == level)
+        idx = np.flatnonzero(usable & block[owners])
+        Tl = T[idx]
+        rl = rewards[idx]
+        own = owners[idx]
+        target = float(targets[level])
+
+        opt = _make_opt(own, n, maximize)
+
+        def phi_of(vec: np.ndarray) -> np.ndarray:
+            return opt(rl + Tl @ vec)
+
+        def sweep_lower() -> np.ndarray:
+            """One monotone lower sweep; returns the per-state change."""
+            pl = phi_of(lower)
+            new = np.maximum(lower[block], pl[block])
+            d = new - lower[block]
+            lower[block] = new
+            return d
+
+        if seed is not None:
+            v = lower.copy()
+            v[block] = np.maximum(seed[block] - epsilon, 0.0)
+            phi = phi_of(v)
+            budget.tick()
+            tol = _CHECK_RTOL * (1.0 + float(np.max(v[block])))
+            if bool(np.all(phi[block] >= v[block] - tol)):
+                lower[block] = v[block]
+            else:
+                perf.incr("vi.warm.rejected")
+
+        # Direct solve: exact policy iteration, both bounds certified from
+        # the machine-precision value in two Bellman applications (dense
+        # solves for small blocks, sparse LU for large ones).  Only for
+        # minimization, where every policy of the usable restriction
+        # that PI stabilizes on is proper; the verification gate below
+        # keeps an improper intermediate from ever leaking out.
+        states = np.flatnonzero(block)
+        if minimize and states.size <= _SPARSE_DIRECT_MAX:
+            vals = lower.copy()
+            certified = np.isfinite(upper)
+            vals[certified] = 0.5 * (lower[certified] + upper[certified])
+            x = _policy_fixpoint(states, Tl, rl, own, vals, block, budget,
+                                 maximize=False)
+            if x is not None:
+                delta = target / 4.0
+                cl = np.maximum(lower[block], x - delta)
+                vec = lower.copy()
+                vec[block] = cl
+                budget.tick()
+                tol = _CHECK_RTOL * (1.0 + float(np.max(cl)))
+                if bool(np.all(phi_of(vec)[block] >= cl - tol)):
+                    lower[block] = cl
+                    cu = np.maximum(cl, x + delta)
+                    vec = upper.copy()
+                    vec[block] = cu
+                    budget.tick()
+                    tol = _CHECK_RTOL * (1.0 + float(np.max(cu)))
+                    if bool(np.all(phi_of(vec)[block] <= cu + tol)):
+                        upper[block] = cu
+                        np.maximum(upper, lower, out=upper)
+                        continue
+
+        # Phase A: converge the lower iterate, with verified Aitken jumps
+        # for slowly mixing components.  The stop is *error*-based, not
+        # residual-based: sweeping continues past the residual floor until
+        # the windowed geometric estimate of the remaining distance drops
+        # to the OVI offset Phase B will guess — so the verified upper
+        # lands within the level target and Phase C has nothing left to
+        # grind.  A stall valve bounds the extra sweeps in case the rate
+        # estimate refuses to certify progress (Phase C then takes over,
+        # exactly as before).
+        delta = np.inf
+        prev_delta = np.inf
+        d = prev_d = None
+        sweeps = 0
+        mark = 0
+        delta_mark = np.inf
+        hist: list[float] = []
+        stalled = 0
+        resid_floor = max(target / 4.0, 1e-300)
+        while True:
+            budget.tick()
+            sweeps += 1
+            prev_delta = delta
+            prev_d = d
+            d = sweep_lower()
+            delta = float(np.max(d))
+            if delta == 0.0:
+                break
+            hist.append(delta)
+            if delta <= resid_floor:
+                w = min(len(hist) - 1, 8)
+                err = _window_error(delta, delta, hist[-1 - w], w) if w else 0.0
+                stalled += 1
+                if err <= target / 2.0 or stalled > 4 * _EXTRAP_EVERY:
+                    break
+            if sweeps - mark < _EXTRAP_EVERY or prev_d is None:
+                continue
+            window = sweeps - mark
+            mark = sweeps
+            delta_then, delta_mark = delta_mark, delta
+            guess = _aitken(lower[block], d, prev_d, toward_upper=True)
+            if guess is None:
+                continue
+            est = np.maximum(guess, lower[block])
+            resid = np.inf
+            for _ in range(_SMOOTH_SWEEPS):
+                budget.tick()
+                vec = lower.copy()
+                vec[block] = est
+                new_est = np.maximum(phi_of(vec)[block], lower[block])
+                resid = float(np.max(np.abs(new_est - est)))
+                est = new_est
+            err = _window_error(resid, delta, delta_then, window)
+            reach = float(np.max(est - lower[block]))
+            slack = max(target / 4.0, min(err, reach / 4.0))
+            for _ in range(2):
+                cand = np.maximum(lower[block], est - slack)
+                if float(np.max(cand - lower[block])) <= 0.0:
+                    break
+                vec = lower.copy()
+                vec[block] = cand
+                phi = phi_of(vec)
+                budget.tick()
+                tol = _CHECK_RTOL * (1.0 + float(np.max(cand)))
+                if bool(np.all(phi[block] >= cand - tol)):
+                    lower[block] = cand
+                    break
+                slack *= _SLACK_GROWTH
+        if delta > 0.0:
+            w = min(len(hist) - 1, 8)
+            error_estimate = (
+                _window_error(delta, delta, hist[-1 - w], w) if w else 0.0
+            )
+            if not np.isfinite(error_estimate):
+                rho = min(
+                    max(delta / prev_delta if prev_delta > 0 else 0.0, 0.0),
+                    0.999999,
+                )
+                error_estimate = delta * rho / (1.0 - rho)
+        else:
+            error_estimate = 0.0
+
+        # Phase B: optimistic upper guess + verification.
+        offset = max(min(error_estimate, 1e12), target / 2.0)
+        accepted = False
+        while not accepted:
+            upper[block] = lower[block] + offset
+            for _ in range(_OVI_VERIFY_SWEEPS):
+                budget.tick()
+                pu = phi_of(upper)
+                tol = _CHECK_RTOL * (1.0 + float(np.max(upper[block])))
+                if bool(np.all(pu[block] <= upper[block] + tol)):
+                    accepted = True
+                    upper[block] = np.minimum(upper[block], pu[block])
+                    break
+                upper[block] = np.minimum(upper[block], pu[block])
+                sweep_lower()
+                if bool(np.any(upper[block] < lower[block] - tol)):
+                    break  # guess collapsed below the lower bound
+            if not accepted:
+                offset *= _OVI_GROWTH
+
+        # Phase C: tighten jointly (with acceleration) to the level target.
+        _tighten(lower, upper, block, phi_of, phi_of, budget,
+                 target=target, hi=np.inf)
+        np.maximum(upper, lower, out=upper)
+    return IntervalSolution(lower, upper, budget.iterations, num_levels)

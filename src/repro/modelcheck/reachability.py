@@ -6,13 +6,20 @@ safety conjunct), and every other state iterates
 
     V(s) = opt_a  sum_{s'} P(s' | s, a) V(s')
 
-to the least fixpoint from V = 0, which is the standard characterization of
-maximal/minimal reachability probabilities.  Absorbing non-goal states keep
-value 0 (the run never reaches the goal).
+to the fixpoint.  Before iterating, the graph-based qualitative sets pin
+every state whose value is exactly 0 or 1 (``prob0``/``prob1`` under the
+matching semantics) — without this, end components that can dodge the goal
+forever make the iteration contract at a rate arbitrarily close to 1 and
+the sweep loop times out (the compiled solver's hypothesis seed 1186).
+Absorbing non-goal states keep value 0 (the run never reaches the goal).
 
 Also provides the graph-based ``prob1e`` set — the states from which *some*
 strategy reaches the goal with probability one while avoiding hazards —
 needed for the well-definedness of expected-reward queries.
+
+These are the pure-Python *reference* implementations; the production path
+is :mod:`repro.modelcheck.compiled` (vectorized, with certified interval
+bounds).  The unit tests check agreement between the two.
 """
 
 from __future__ import annotations
@@ -26,8 +33,9 @@ from repro.modelcheck.model import MDP
 #: Convergence threshold for value iteration (absolute sup-norm).
 DEFAULT_EPSILON = 1e-9
 
-#: Hard cap on iterations; reach-avoid VI on these models converges
-#: geometrically, so hitting the cap indicates a modelling bug.
+#: Hard cap on iterations; with qualitative precomputation the remaining
+#: reach-avoid VI contracts geometrically, so hitting the cap indicates a
+#: modelling bug.
 DEFAULT_MAX_ITERATIONS = 100_000
 
 
@@ -37,11 +45,33 @@ class ValueResult:
 
     ``choice[s]`` is -1 for states with no enabled choices or where every
     choice is equally (non-)optimal because the state is absorbing/goal.
+
+    ``lower``/``upper`` are certified pointwise bounds on the true values
+    (``lower <= V <= upper``) when the producing solver computed them (the
+    compiled interval pipeline); reference solvers leave them ``None``.
     """
 
     values: np.ndarray
     choice: np.ndarray
     iterations: int
+    lower: np.ndarray | None = None
+    upper: np.ndarray | None = None
+
+    @property
+    def certified(self) -> bool:
+        """Whether this result carries two-sided error bounds."""
+        return self.lower is not None and self.upper is not None
+
+    @property
+    def gap(self) -> float:
+        """Largest certified interval width over states where both bounds
+        are finite (``nan`` when the result is uncertified)."""
+        if self.lower is None or self.upper is None:
+            return float("nan")
+        finite = np.isfinite(self.lower) & np.isfinite(self.upper)
+        if not finite.any():
+            return 0.0
+        return float(np.max(self.upper[finite] - self.lower[finite]))
 
 
 def _prepare(mdp: MDP, goal: str, avoid: str) -> tuple[set[int], set[int]]:
@@ -50,6 +80,77 @@ def _prepare(mdp: MDP, goal: str, avoid: str) -> tuple[set[int], set[int]]:
     if overlap := goal_states & avoid_states:
         raise ValueError(f"states {overlap} are both goal and avoid")
     return goal_states, avoid_states
+
+
+def _live_choices(mdp: MDP, s: int, frozen: set[int]):
+    return [] if s in frozen else mdp.enabled(s)
+
+
+def _exists_reach(mdp: MDP, target: set[int], frozen: set[int]) -> set[int]:
+    """States with a positive-probability path into ``target`` that only
+    uses choices of non-frozen states (goal/avoid are absorbing here)."""
+    reach = set(target)
+    changed = True
+    while changed:
+        changed = False
+        for s in range(mdp.num_states):
+            if s in reach:
+                continue
+            for c in _live_choices(mdp, s, frozen):
+                if any(t in reach for t, _ in c.successors):
+                    reach.add(s)
+                    changed = True
+                    break
+    return reach
+
+
+def _prob0e_set(
+    mdp: MDP, goal_states: set[int], avoid_states: set[int]
+) -> set[int]:
+    """``Pmin = 0``: some strategy avoids ``goal`` forever.
+
+    Greatest fixpoint over the non-goal states: a state survives when it is
+    absorbed at value 0 (avoid state or choiceless trap) or owns a choice
+    whose entire support stays in the surviving set.
+    """
+    frozen = goal_states | avoid_states
+    z = set(range(mdp.num_states)) - goal_states
+    while True:
+        new_z = set()
+        for s in z:
+            live = _live_choices(mdp, s, frozen)
+            if not live:
+                new_z.add(s)
+                continue
+            if any(
+                all(t in z for t, _ in c.successors) for c in live
+            ):
+                new_z.add(s)
+        if new_z == z:
+            return z
+        z = new_z
+
+
+def qualitative_sets(
+    mdp: MDP, goal_states: set[int], avoid_states: set[int], maximize: bool
+) -> tuple[set[int], set[int]]:
+    """``(zero, one)`` state sets for one objective (scalar reference).
+
+    ``Pmax``: ``zero`` is ``prob0a`` (no strategy reaches the goal) and
+    ``one`` is ``prob1e`` (the nested fixpoint, see :func:`prob1e`).
+    ``Pmin``: ``zero`` is ``prob0e`` (some strategy dodges the goal
+    forever) and ``one`` is ``prob1a`` (the complement of exists-reach of
+    ``prob0e``).
+    """
+    frozen = goal_states | avoid_states
+    if maximize:
+        reach = _exists_reach(mdp, goal_states, frozen)
+        zero = set(range(mdp.num_states)) - reach
+        one = _prob1e_set(mdp, goal_states, avoid_states)
+    else:
+        zero = _prob0e_set(mdp, goal_states, avoid_states)
+        one = set(range(mdp.num_states)) - _exists_reach(mdp, zero, frozen)
+    return zero, one
 
 
 def reach_avoid_probability(
@@ -63,48 +164,61 @@ def reach_avoid_probability(
     """``Pmax`` (or ``Pmin``) of ``[] !avoid && <> goal`` for every state."""
     goal_states, avoid_states = _prepare(mdp, goal, avoid)
     n = mdp.num_states
+    zero, one = qualitative_sets(mdp, goal_states, avoid_states, maximize)
     values = np.zeros(n)
-    for g in goal_states:
-        values[g] = 1.0
+    for s in one:
+        values[s] = 1.0
     choice = np.full(n, -1, dtype=int)
     frozen = goal_states | avoid_states
+    pinned = frozen | zero | one
 
     iterations = 0
     for iterations in range(1, max_iterations + 1):
         delta = 0.0
         for s in range(n):
-            if s in frozen or mdp.is_absorbing(s):
+            if s in pinned or mdp.is_absorbing(s):
                 continue
             best_val: float | None = None
-            best_choice = -1
-            for c_idx, c in enumerate(mdp.enabled(s)):
+            for c in mdp.enabled(s):
                 v = sum(p * values[t] for t, p in c.successors)
                 if (
                     best_val is None
                     or (maximize and v > best_val)
                     or (not maximize and v < best_val)
                 ):
-                    best_val, best_choice = v, c_idx
+                    best_val = v
             assert best_val is not None
             delta = max(delta, abs(best_val - values[s]))
-            values[s], choice[s] = best_val, best_choice
+            values[s] = best_val
         if delta < epsilon:
             break
     else:  # pragma: no cover - indicates a modelling bug
         raise RuntimeError(f"value iteration did not converge in {max_iterations} steps")
+
+    # One greedy pass over the converged values assigns choices everywhere
+    # a decision is meaningful — including the precomputation-pinned states,
+    # which never enter the sweep loop.
+    for s in range(n):
+        if s in frozen or mdp.is_absorbing(s):
+            continue
+        best_val = None
+        best_choice = -1
+        for c_idx, c in enumerate(mdp.enabled(s)):
+            v = sum(p * values[t] for t, p in c.successors)
+            if (
+                best_val is None
+                or (maximize and v > best_val)
+                or (not maximize and v < best_val)
+            ):
+                best_val, best_choice = v, c_idx
+        choice[s] = best_choice
     return ValueResult(values=values, choice=choice, iterations=iterations)
 
 
-def prob1e(mdp: MDP, goal: str = "goal", avoid: str = "hazard") -> set[int]:
-    """States where some strategy reaches ``goal`` w.p. 1, avoiding ``avoid``.
-
-    The classic nested fixpoint ``nu Z. mu Y. goal | Pre(Z, Y)``: a state
-    qualifies when some choice keeps all probability inside the candidate set
-    ``Z`` while giving a positive-probability step toward ``Y`` (states
-    already known to reach the goal).  Avoid states and absorbing non-goal
-    states never qualify.
-    """
-    goal_states, avoid_states = _prepare(mdp, goal, avoid)
+def _prob1e_set(
+    mdp: MDP, goal_states: set[int], avoid_states: set[int]
+) -> set[int]:
+    """Set form of :func:`prob1e` (labels already resolved)."""
     n = mdp.num_states
     candidates = {
         s
@@ -132,6 +246,19 @@ def prob1e(mdp: MDP, goal: str = "goal", avoid: str = "hazard") -> set[int]:
         if reached == candidates:
             return candidates
         candidates = reached
+
+
+def prob1e(mdp: MDP, goal: str = "goal", avoid: str = "hazard") -> set[int]:
+    """States where some strategy reaches ``goal`` w.p. 1, avoiding ``avoid``.
+
+    The classic nested fixpoint ``nu Z. mu Y. goal | Pre(Z, Y)``: a state
+    qualifies when some choice keeps all probability inside the candidate set
+    ``Z`` while giving a positive-probability step toward ``Y`` (states
+    already known to reach the goal).  Avoid states and absorbing non-goal
+    states never qualify.
+    """
+    goal_states, avoid_states = _prepare(mdp, goal, avoid)
+    return _prob1e_set(mdp, goal_states, avoid_states)
 
 
 def reachable_states(mdp: MDP, from_state: int | None = None) -> set[int]:

@@ -1,13 +1,28 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite + hypothesis profiles.
+
+CI exports ``HYPOTHESIS_PROFILE=ci`` to derandomize property tests: a
+fixed derivation seed makes every run draw the same examples (a red CI is
+reproducible locally with the same profile), and ``print_blob=True`` puts
+the ``@reproduce_failure`` blob straight into the failure output.  The
+example database under ``.hypothesis/`` is uploaded as an artifact on
+failure so shrunk counterexamples survive the ephemeral runner.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.biochip.chip import MedaChip
 from repro.core.routing_job import RoutingJob
 from repro.geometry.rect import Rect
+
+settings.register_profile("default", print_blob=True)
+settings.register_profile("ci", derandomize=True, print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

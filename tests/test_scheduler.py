@@ -150,9 +150,12 @@ class TestSchedulerMechanics:
 
     def test_resyntheses_counted(self):
         # Fast-degrading chip: health changes mid-route force resyntheses.
+        # The degradation budget is low enough that fingerprint changes
+        # hit every route regardless of which of several value-equivalent
+        # routes the solver's tie-breaking picks.
         rng = np.random.default_rng(5)
         chip = MedaChip.sample(W, H, rng, tau_range=(0.5, 0.6),
-                               c_range=(8, 15))
+                               c_range=(4, 8))
         graph = self.two_route_graph()
         result, scheduler = run(graph, chip=chip, max_cycles=600)
         assert scheduler.resyntheses > 0
