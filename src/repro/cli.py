@@ -7,7 +7,9 @@ Commands:
   (optionally the wear heatmap); ``--trace``/``--journal``/``--perf``
   switch on the :mod:`repro.obs` telemetry; ``--workers``/``--prefetch``/
   ``--strategy-cache`` enable the parallel synthesis engine
-  (:mod:`repro.engine`);
+  (:mod:`repro.engine`); ``--engine-retries``/``--engine-deadline-ms``
+  bound its fault tolerance and ``--chaos`` injects deterministic faults
+  (:mod:`repro.engine.chaos`);
 * ``report`` — summarize a run journal written by ``run --journal``;
 * ``synth`` — synthesize a single routing job and print the route map;
 * ``degradation`` — print the D(n)/H(n) lifetime table for given (tau, c).
@@ -59,6 +61,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         c_range=(args.c_min, args.c_max),
     )
 
+    if args.chaos is not None:
+        from repro.engine import chaos
+
+        try:
+            chaos.activate(chaos.parse_spec(args.chaos))
+        except ValueError as exc:
+            print(f"bad --chaos spec: {exc}", file=sys.stderr)
+            return 2
+
     engine = None
     if args.router == "adaptive" and (
         args.workers != 1 or args.strategy_cache is not None
@@ -71,7 +82,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 None if args.strategy_cache == "auto" else args.strategy_cache
             )
         engine = SynthesisEngine(
-            workers=args.workers, store=store, prefetch=args.prefetch
+            workers=args.workers, store=store, prefetch=args.prefetch,
+            retries=args.engine_retries, deadline_ms=args.engine_deadline_ms,
         )
     if args.router == "adaptive":
         router = AdaptiveRouter(engine=engine)
@@ -102,6 +114,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     finally:
         if engine is not None:
             engine.close()
+            if engine.degraded:
+                print("engine: worker pool degraded mid-run; finished on "
+                      "the synchronous path", file=sys.stderr)
             if args.perf:
                 pairs = ", ".join(
                     f"{k}={v}" for k, v in engine.counters().items()
@@ -200,6 +215,15 @@ def _cmd_degradation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workers_arg(value: str) -> int:
+    workers = int(value)
+    if workers < 0:
+        raise argparse.ArgumentTypeError(
+            "workers must be >= 0 (0 = one per core, 1 = synchronous)"
+        )
+    return workers
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -228,7 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--tau-max", type=float, default=0.9)
     run.add_argument("--c-min", type=float, default=200.0)
     run.add_argument("--c-max", type=float, default=500.0)
-    run.add_argument("--workers", type=int, default=1,
+    run.add_argument("--workers", type=_workers_arg, default=1,
                      help="synthesis worker processes (adaptive router only): "
                           "1 = synchronous (default), 0 = one per core, "
                           "N>1 = a pool of N")
@@ -241,6 +265,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persist synthesized strategies across runs in a "
                           "SQLite cache; with no PATH, uses "
                           "~/.cache/repro/strategies.sqlite")
+    run.add_argument("--engine-retries", type=int, default=2, metavar="N",
+                     help="how many times a speculation is resubmitted after "
+                          "a transient worker failure (default 2)")
+    run.add_argument("--engine-deadline-ms", type=float, default=None,
+                     metavar="MS",
+                     help="per-speculation deadline; in-flight synthesis "
+                          "older than this is reaped and hung workers are "
+                          "killed (default: no deadline)")
+    run.add_argument("--chaos", metavar="SPEC", default=None,
+                     help="deterministic fault injection, e.g. "
+                          "'kill=0.1,raise=0.05,delay=0.1:250,store=0.2,"
+                          "seed=7' (see repro.engine.chaos; REPRO_CHAOS_SEED "
+                          "overrides the seed)")
     run.add_argument("--show-wear", action="store_true",
                      help="print the chip wear heatmap afterwards")
     run.add_argument("--perf", action="store_true",

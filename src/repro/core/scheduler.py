@@ -192,6 +192,9 @@ class HybridScheduler:
             raise ValueError("prefetch horizon cannot be negative")
         self.prefetch_horizon = prefetch_horizon
         self.prefetches = 0
+        #: Set once the engine reports permanent degradation (pool gone):
+        #: the scheduler keeps planning on the synchronous path unchanged.
+        self.engine_degraded_observed = False
         self.failure: str | None = None
         self.cycle = 0
         self.resyntheses = 0
@@ -269,9 +272,31 @@ class HybridScheduler:
         self.prefetches += submitted
         return submitted
 
+    def _note_engine_degrade(self) -> None:
+        """Record (once) that the engine fell back to the synchronous path.
+
+        Purely observational: routing already degrades transparently (a
+        dead pool means every plan misses and synthesizes synchronously),
+        and the note stays out of :attr:`events` so execution traces remain
+        bit-identical to a no-pool run.
+        """
+        if self.engine_degraded_observed or not getattr(
+            self.engine, "degraded", False
+        ):
+            return
+        self.engine_degraded_observed = True
+        perf.incr("scheduler.engine_degraded")
+        obs.journal_event(
+            "engine.degraded.observed",
+            cycle=self.cycle,
+            rebuilds=getattr(self.engine, "rebuilds", 0),
+        )
+
     def _prefetch(self, health: np.ndarray) -> None:
         """Prefetch strategies for MOs that are about to activate."""
         prefetch = getattr(self.router, "prefetch", None)
+        if self.engine is not None:
+            self._note_engine_degrade()
         if (
             self.engine is None
             or not self.engine.pooled

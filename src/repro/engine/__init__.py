@@ -1,15 +1,26 @@
 """Synthesis execution engine: worker pool, speculation, persistent store.
 
-See :mod:`repro.engine.pool` for the speculative multi-worker engine and
-:mod:`repro.engine.store` for the cross-run SQLite strategy cache.
+See :mod:`repro.engine.pool` for the speculative multi-worker engine,
+:mod:`repro.engine.store` for the cross-run SQLite strategy cache,
+:mod:`repro.engine.faults` for the worker-failure taxonomy and retry
+policy, and :mod:`repro.engine.chaos` for the deterministic
+fault-injection harness.
 """
 
+from repro.engine.chaos import ChaosConfig, ChaosInjectedError, ChaosInjector
+from repro.engine.faults import FaultKind, RetryPolicy, classify_failure
 from repro.engine.pool import SynthesisEngine, resolve_workers
 from repro.engine.store import StrategyStore, default_store_path
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosInjectedError",
+    "ChaosInjector",
+    "FaultKind",
+    "RetryPolicy",
     "SynthesisEngine",
     "StrategyStore",
+    "classify_failure",
     "default_store_path",
     "resolve_workers",
 ]

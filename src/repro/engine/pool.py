@@ -24,16 +24,36 @@ synchronous path because warm values are keyed by job key and only change
 when that same key is re-solved — and a re-solve installs a library entry
 that takes precedence over any speculation.
 
+**Fault tolerance** (:mod:`repro.engine.faults`): worker failures are
+classified — a broken pool (worker OOM-killed / segfaulted) triggers an
+executor rebuild with capped exponential backoff and resubmission of the
+surviving speculations up to a retry budget; a deterministic payload error
+is counted and falls back to synchronous synthesis; an in-flight
+speculation that exceeds ``deadline_ms`` is reaped (a hung worker forces a
+rebuild, since an executor cannot kill a single process).  When the
+rebuild budget is exhausted the engine *degrades permanently*: the pool is
+torn down, ``engine.degraded`` is set, an ``engine.degraded`` journal
+event is emitted, and every subsequent plan runs on the synchronous path.
+None of this can change routing: speculation results are matched exactly
+and every failure path is a miss, so a faulted run routes bit-identically
+to a no-pool run.
+
 The engine also fronts the persistent :class:`~repro.engine.store.StrategyStore`
 (``store_get``/``store_put``) so the router has a single speculation façade.
-Counters: ``engine.prefetch.{submitted,hits,misses,stale,wasted,rejected}``,
-``engine.errors``; spans: ``engine.submit`` / ``engine.wait``.
+Counters: ``engine.prefetch.{submitted,hits,misses,stale,wasted,rejected,
+deadline}``, ``engine.errors``, ``engine.fault.{pool,transient,payload}``,
+``engine.rebuilds``, ``engine.retries``, ``engine.degraded``; spans:
+``engine.submit`` / ``engine.wait``.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import Future, ProcessPoolExecutor
+import signal
+import time
+from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -53,6 +73,8 @@ from repro.core.synthesis import (
     synthesize_with_field,
 )
 from repro.core.transitions import MatrixForceField
+from repro.engine import chaos
+from repro.engine.faults import FaultKind, RetryPolicy, classify_failure
 from repro.engine.payload import (
     side_for_objective,
     warm_values_from_payload,
@@ -64,12 +86,21 @@ from repro.modelcheck.properties import Query
 _EngineKey = tuple[tuple[int, ...], bytes]
 
 
+def _chaos_token(key: _EngineKey, attempt: int) -> str:
+    """The deterministic chaos-decision token for one submission attempt."""
+    job_key, fingerprint = key
+    return f"{','.join(map(str, job_key))}|{fingerprint.hex()}|a{attempt}"
+
+
 def _worker_synthesize(payload: dict) -> dict:
     """Worker-side synthesis: plain payloads in, plain payloads out.
 
     Runs in a pool process; must stay importable at module level so the
     executor can pickle a reference to it.
     """
+    injector = chaos.injector()
+    if injector is not None:
+        injector.worker_inject(payload.get("chaos_token", ""))
     job = job_from_payload(payload["job"])
     field = MatrixForceField(np.asarray(payload["forces"], dtype=float))
     query = payload["query"]
@@ -99,10 +130,29 @@ def _worker_synthesize(payload: dict) -> dict:
 
 
 def resolve_workers(workers: int) -> int:
-    """``0`` means "all cores"; anything below 2 disables the pool."""
+    """``0`` means "all cores"; ``1`` disables the pool.
+
+    Negative counts are a configuration error, not a silent way to turn
+    the pool off — they raise so a typo'd sweep script fails loudly.
+    """
+    if workers < 0:
+        raise ValueError(
+            f"workers must be >= 0 (0 = one per core, 1 = no pool), "
+            f"got {workers}"
+        )
     if workers == 0:
         return os.cpu_count() or 1
     return workers
+
+
+@dataclass
+class _Speculation:
+    """One in-flight worker job and the state needed to retry or reap it."""
+
+    future: Future
+    payload: dict
+    submitted_at: float
+    attempts: int = 1
 
 
 class SynthesisEngine:
@@ -114,6 +164,11 @@ class SynthesisEngine:
     via :meth:`~repro.core.scheduler.HybridScheduler.presynthesize` is the
     caller's explicit choice either way).  The synthesis parameters must
     match the router's — they are baked into every worker payload.
+
+    ``policy`` bounds the fault-tolerance behaviour (see
+    :class:`~repro.engine.faults.RetryPolicy`); the ``retries`` /
+    ``deadline_ms`` / ``rebuild_budget`` keywords are a convenience for the
+    common overrides and are ignored when an explicit policy is given.
     """
 
     def __init__(
@@ -128,6 +183,10 @@ class SynthesisEngine:
         store: StrategyStore | None = None,
         prefetch: bool = True,
         max_inflight: int = 128,
+        retries: int = 2,
+        deadline_ms: float | None = None,
+        rebuild_budget: int = 3,
+        policy: RetryPolicy | None = None,
     ) -> None:
         if max_inflight <= 0:
             raise ValueError("max_inflight must be positive")
@@ -140,22 +199,33 @@ class SynthesisEngine:
         self.store = store
         self.prefetch_enabled = prefetch
         self.max_inflight = max_inflight
+        self.policy = policy if policy is not None else RetryPolicy(
+            retries=retries,
+            rebuild_budget=rebuild_budget,
+            deadline_ms=deadline_ms,
+        )
         self._executor: ProcessPoolExecutor | None = (
             ProcessPoolExecutor(max_workers=self.workers)
             if self.workers > 1
             else None
         )
-        self._pending: dict[_EngineKey, Future] = {}
+        self._pending: dict[_EngineKey, _Speculation] = {}
         self._by_job: dict[tuple[int, ...], _EngineKey] = {}
         # Consumed speculations that found no plan: a definitive answer for
         # that exact key (the library never caches None), so don't resubmit.
         self._no_plan: set[_EngineKey] = set()
+        self._closed = False
+        self.degraded = False
         self.submitted = 0
         self.hits = 0
         self.misses = 0
         self.stale = 0
         self.wasted = 0
         self.errors = 0
+        self.rebuilds = 0
+        self.retried = 0
+        self.deadline_reaps = 0
+        self.faults: dict[str, int] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -166,14 +236,8 @@ class SynthesisEngine:
 
     def close(self) -> None:
         """Shut the pool down; unconsumed speculations count as wasted."""
-        leftover = len(self._pending)
-        if leftover:
-            self.wasted += leftover
-            perf.incr("engine.prefetch.wasted", leftover)
-        for fut in self._pending.values():
-            fut.cancel()
-        self._pending.clear()
-        self._by_job.clear()
+        self._closed = True
+        self._drop_all_speculations()
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
@@ -185,6 +249,182 @@ class SynthesisEngine:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+    # -- fault handling ------------------------------------------------------
+
+    def _record_fault(
+        self, kind: FaultKind, detail: object, job_key: tuple | None = None
+    ) -> None:
+        """Count and journal one classified worker failure."""
+        self.errors += 1
+        self.faults[kind.value] = self.faults.get(kind.value, 0) + 1
+        perf.incr("engine.errors")
+        perf.incr(f"engine.fault.{kind.value}")
+        obs.journal_event(
+            "engine.fault",
+            kind=kind.value,
+            job=job_key,
+            detail=detail if isinstance(detail, str) else repr(detail),
+        )
+
+    def _kill_worker_processes(self) -> None:
+        """SIGKILL the pool's worker processes (reaping hung workers).
+
+        ``ProcessPoolExecutor`` cannot cancel a *running* task — shutdown
+        waits for it — so reclaiming a hung worker means killing the
+        process outright.  Best-effort over the executor's internal
+        process table; a worker that already died is skipped.
+        """
+        processes = getattr(self._executor, "_processes", None) or {}
+        for proc in list(processes.values()):
+            pid = getattr(proc, "pid", None)
+            if pid is None:
+                continue
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError, OSError):
+                pass
+
+    def _degrade(self, reason: str) -> None:
+        """Permanently fall back to the synchronous path (pool disabled)."""
+        if self.degraded:
+            return
+        self.degraded = True
+        perf.incr("engine.degraded")
+        obs.journal_event(
+            "engine.degraded", reason=reason, rebuilds=self.rebuilds
+        )
+        self._drop_all_speculations()
+        if self._executor is not None:
+            self._kill_worker_processes()
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def _drop_all_speculations(self) -> None:
+        # Abandon, never Future.cancel(): cancelling a queued work item of
+        # a pool that later breaks makes the executor's terminate_broken
+        # call set_exception on a CANCELLED future — the management thread
+        # dies mid-cleanup and the call-queue feeder hangs the process at
+        # exit.  shutdown(cancel_futures=True) cancels safely (it runs in
+        # the management thread itself); abandoned futures cost at most
+        # one wasted worker computation.
+        leftover = len(self._pending)
+        if leftover:
+            self.wasted += leftover
+            perf.incr("engine.prefetch.wasted", leftover)
+        self._pending.clear()
+        self._by_job.clear()
+
+    def _rebuild_pool(self) -> bool:
+        """Replace a broken executor (backoff + budget); False = degraded.
+
+        The old executor's workers are killed outright (a broken pool may
+        still hold hung processes), the capped exponential backoff of the
+        retry policy is paid, and the surviving in-flight speculations are
+        resubmitted on the fresh pool within their retry budgets.
+        """
+        if self._executor is not None:
+            self._kill_worker_processes()
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        if self._closed:
+            return False
+        if self.rebuilds >= self.policy.rebuild_budget:
+            self._degrade("rebuild budget exhausted")
+            return False
+        delay = self.policy.backoff(self.rebuilds)
+        if delay > 0:
+            time.sleep(delay)
+        self.rebuilds += 1
+        perf.incr("engine.rebuilds")
+        obs.journal_event(
+            "engine.rebuild", attempt=self.rebuilds, backoff_ms=delay * 1e3
+        )
+        try:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        except OSError as exc:
+            self._record_fault(FaultKind.POOL, exc)
+            self._degrade("executor re-creation failed")
+            return False
+        self._resubmit_inflight()
+        return True
+
+    def _resubmit_inflight(self) -> None:
+        """Re-run the in-flight payloads on a freshly built pool.
+
+        A pool breakage fails *every* in-flight future at once; the
+        payloads themselves are (presumed) innocent, so each is retried on
+        the new executor until its retry budget runs out.  The attempt
+        number feeds the chaos token, so injected kills re-roll on retry.
+        """
+        survivors: dict[_EngineKey, _Speculation] = {}
+        for key, spec in self._pending.items():
+            if spec.attempts > self.policy.retries:
+                self._by_job.pop(key[0], None)
+                self.wasted += 1
+                perf.incr("engine.prefetch.wasted")
+                continue
+            attempts = spec.attempts + 1
+            payload = dict(spec.payload)
+            payload["chaos_token"] = _chaos_token(key, attempts)
+            try:
+                future = self._executor.submit(_worker_synthesize, payload)
+            except (BrokenProcessPool, RuntimeError):
+                self._by_job.pop(key[0], None)
+                self.wasted += 1
+                perf.incr("engine.prefetch.wasted")
+                continue
+            self.retried += 1
+            perf.incr("engine.retries")
+            survivors[key] = _Speculation(
+                future, spec.payload, time.monotonic(), attempts
+            )
+        self._pending = survivors
+
+    def _reap(self, key: _EngineKey, spec: _Speculation) -> None:
+        """Evict one overdue speculation; a hung worker forces a rebuild."""
+        self._pending.pop(key, None)
+        self._by_job.pop(key[0], None)
+        # No Future.cancel() here (see _drop_all_speculations); a queued
+        # overdue item simply runs to waste, a *running* one is hung.
+        hung = spec.future.running()
+        self.deadline_reaps += 1
+        self.wasted += 1
+        perf.incr("engine.prefetch.deadline")
+        perf.incr("engine.prefetch.wasted")
+        obs.journal_event(
+            "engine.deadline",
+            job=key[0],
+            deadline_ms=self.policy.deadline_ms,
+            attempts=spec.attempts,
+            hung=hung,
+        )
+        if hung:
+            # The worker is still executing the overdue payload and the
+            # executor cannot take the slot back — kill and rebuild.
+            self._rebuild_pool()
+
+    def _reap_overdue(self, exclude: _EngineKey | None = None) -> None:
+        """Sweep every in-flight speculation past its deadline.
+
+        ``exclude`` protects the key the caller is about to consume, so
+        :meth:`take` can report it as ``"deadline"`` itself instead of the
+        sweep silently turning it into an ``"absent"``.
+        """
+        deadline = self.policy.deadline_s
+        if deadline is None or not self._pending:
+            return
+        now = time.monotonic()
+        overdue = [
+            (key, spec)
+            for key, spec in self._pending.items()
+            if key != exclude
+            and not spec.future.done()
+            and now - spec.submitted_at > deadline
+        ]
+        for key, spec in overdue:
+            if key in self._pending:  # a rebuild may have dropped it already
+                self._reap(key, spec)
 
     # -- speculation ---------------------------------------------------------
 
@@ -199,9 +439,15 @@ class SynthesisEngine:
         At most one speculation per job key is in flight at a time, and the
         total in-flight count is bounded by ``max_inflight``; rejected
         submissions return ``False`` (the caller loses nothing — the job
-        will fall back to synchronous synthesis).
+        will fall back to synchronous synthesis).  Submission never raises:
+        a broken or closed pool is counted, the pool is rebuilt when the
+        budget allows, and ``False`` is returned — the scheduler loop must
+        survive any engine state.
         """
-        if self._executor is None:
+        if self._executor is None or self.degraded or self._closed:
+            return False
+        self._reap_overdue()
+        if self._executor is None:  # a hung-worker reap may have degraded us
             return False
         job_key = job.key()
         if job_key in self._by_job:
@@ -228,10 +474,24 @@ class SynthesisEngine:
                     None if self.query is None else self.query.objective
                 ),
             ),
+            "chaos_token": _chaos_token(key, 1),
         }
-        with obs.span("engine.submit", job=job_key):
-            future = self._executor.submit(_worker_synthesize, payload)
-        self._pending[key] = future
+        try:
+            with obs.span("engine.submit", job=job_key):
+                future = self._executor.submit(_worker_synthesize, payload)
+        except BrokenProcessPool as exc:
+            # The pool died under us (worker OOM-kill / crash): classify,
+            # rebuild within budget, and decline this submission — the job
+            # simply synthesizes synchronously.
+            self._record_fault(FaultKind.POOL, exc, job_key)
+            self._rebuild_pool()
+            return False
+        except RuntimeError as exc:
+            # Executor shut down concurrently (engine closed mid-cycle):
+            # count and decline rather than crash the scheduler loop.
+            self._record_fault(FaultKind.TRANSIENT, exc, job_key)
+            return False
+        self._pending[key] = _Speculation(future, payload, time.monotonic())
         self._by_job[job_key] = key
         self.submitted += 1
         perf.incr("engine.prefetch.submitted")
@@ -242,7 +502,8 @@ class SynthesisEngine:
     ) -> tuple[str, RoutingStrategy | None]:
         """Consume a speculation for exactly ``(job, health)``.
 
-        Returns ``(status, strategy)`` with status one of:
+        Never blocks: a result is either already done or reported as a
+        miss.  Returns ``(status, strategy)`` with status one of:
 
         * ``"hit"`` — the speculation completed and matches; ``strategy``
           is the synthesized strategy (identical to what synchronous
@@ -250,13 +511,21 @@ class SynthesisEngine:
         * ``"no-plan"`` — completed and matching, but synthesis found no
           strategy (a definitive answer, same as the synchronous path);
         * ``"pending"`` — in flight but not done: the caller must fall
-          back to synchronous synthesis (the speculation becomes wasted);
+          back to synchronous synthesis.  The speculation is discarded
+          (counted wasted) — the synchronous result will land in the
+          library, so a later completion could never be consumed, and
+          keeping the entry would block fresh resubmission of the key;
         * ``"stale"`` — the in-flight speculation was for an older health
           fingerprint; it is discarded so a fresh one can be submitted;
+        * ``"deadline"`` — in flight past the deadline budget; reaped
+          (a hung worker additionally forces a pool rebuild);
         * ``"absent"`` — nothing in flight for this job;
-        * ``"error"`` — the worker raised; treated as a miss.
+        * ``"error"`` — the worker failed; the fault is classified
+          (pool / transient / payload), a broken pool is rebuilt within
+          budget, and the caller falls back to synchronous synthesis.
         """
         job_key = job.key()
+        self._reap_overdue(exclude=self._by_job.get(job_key))
         inflight = self._by_job.get(job_key)
         if inflight is None:
             return ("absent", None)
@@ -266,19 +535,34 @@ class SynthesisEngine:
             self.stale += 1
             perf.incr("engine.prefetch.stale")
             return ("stale", None)
-        future = self._pending[inflight]
-        if not future.done():
+        spec = self._pending.get(inflight)
+        if spec is None:  # dropped by a rebuild triggered mid-sweep
+            return ("absent", None)
+        if not spec.future.done():
+            deadline = self.policy.deadline_s
+            if (
+                deadline is not None
+                and time.monotonic() - spec.submitted_at > deadline
+            ):
+                self._reap(inflight, spec)
+                return ("deadline", None)
             self.misses += 1
             perf.incr("engine.prefetch.misses")
+            # Pending-miss: the caller synthesizes synchronously and caches
+            # the result in the library, so this speculation can never be
+            # consumed — discard it (counted wasted) to unblock the key.
+            self._discard(inflight)
             return ("pending", None)
         self._pending.pop(inflight, None)
         self._by_job.pop(job_key, None)
         with obs.span("engine.wait", job=job_key):
             try:
-                payload = future.result()
-            except Exception:
-                self.errors += 1
-                perf.incr("engine.errors")
+                payload = spec.future.result()
+            except (Exception, CancelledError) as exc:
+                kind = classify_failure(exc)
+                self._record_fault(kind, exc, job_key)
+                if kind is FaultKind.POOL:
+                    self._rebuild_pool()
                 return ("error", None)
         self.hits += 1
         perf.incr("engine.prefetch.hits")
@@ -288,10 +572,9 @@ class SynthesisEngine:
         return ("hit", RoutingStrategy.from_payload(payload["strategy"]))
 
     def _discard(self, key: _EngineKey) -> None:
-        future = self._pending.pop(key, None)
+        spec = self._pending.pop(key, None)
         self._by_job.pop(key[0], None)
-        if future is not None:
-            future.cancel()
+        if spec is not None:  # abandoned, not cancelled — see _drop_all
             self.wasted += 1
             perf.incr("engine.prefetch.wasted")
 
@@ -320,8 +603,14 @@ class SynthesisEngine:
             "stale": self.stale,
             "wasted": self.wasted,
             "errors": self.errors,
+            "rebuilds": self.rebuilds,
+            "retries": self.retried,
+            "deadline_reaps": self.deadline_reaps,
+            "degraded": int(self.degraded),
             "inflight": len(self._pending),
         }
+        for kind, count in self.faults.items():
+            out[f"fault_{kind}"] = count
         if self.store is not None:
             out.update({f"store_{k}": v for k, v in self.store.counters().items()})
         return out

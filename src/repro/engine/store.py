@@ -41,6 +41,7 @@ import numpy as np
 from repro import perf
 from repro.core.routing_job import RoutingJob
 from repro.core.strategy import RoutingStrategy, health_fingerprint
+from repro.engine import chaos
 from repro.modelcheck.properties import Query
 
 #: Bump when the payload layout or key derivation changes; old rows become
@@ -107,8 +108,10 @@ class StrategyStore:
         self.misses = 0
         self.stale = 0
         self.corrupt = 0
+        self.use_after_close = 0
         self._conn: sqlite3.Connection | None = None
         self._broken = False
+        self._closed = False
         self._open()
 
     # -- connection lifecycle ------------------------------------------------
@@ -154,6 +157,10 @@ class StrategyStore:
         return conn
 
     def close(self) -> None:
+        self._closed = True
+        self._shutdown()
+
+    def _shutdown(self) -> None:
         if self._conn is not None:
             try:
                 self._conn.commit()  # flush deferred LRU touches
@@ -161,6 +168,19 @@ class StrategyStore:
             except sqlite3.Error:
                 pass
             self._conn = None
+
+    def _check_open(self) -> bool:
+        """Guard get/put against use after :meth:`close`.
+
+        A closed connection would raise ``sqlite3.ProgrammingError`` on
+        use; a late ``store_put`` from a router outliving its engine must
+        be a counted no-op, not a crash mid-assay.
+        """
+        if self._closed:
+            self.use_after_close += 1
+            perf.incr("store.use_after_close")
+            return False
+        return self._conn is not None
 
     def __enter__(self) -> "StrategyStore":
         return self
@@ -208,7 +228,7 @@ class StrategyStore:
         counted as *stale* (the zone degraded since it was stored); both
         stale and absent lookups return ``None`` and count as misses.
         """
-        if self._conn is None:
+        if not self._check_open():
             return None
         full, base = self._keys(job, health)
         try:
@@ -260,11 +280,17 @@ class StrategyStore:
         self, job: RoutingJob, health: np.ndarray, strategy: RoutingStrategy
     ) -> None:
         """Store (or refresh) a synthesized strategy; evict past the bound."""
-        if self._conn is None:
+        if not self._check_open():
             return
         full, base = self._keys(job, health)
         now = time.time()
         payload = json.dumps(strategy.to_payload())
+        injector = chaos.injector()
+        if injector is not None:
+            # Chaos harness: maybe garble this row before it hits disk, so
+            # the corruption-tolerance path (undecodable row -> delete +
+            # miss) is exercised by real mid-run writes.
+            payload = injector.corrupt_payload(full, payload)
         ok = self._execute(
             "INSERT INTO strategies"
             " (full_key, base_key, payload, created, last_used)"
@@ -314,7 +340,7 @@ class StrategyStore:
         """An unexpected SQLite failure mid-run: stop using the store."""
         self.corrupt += 1
         perf.incr("store.corrupt")
-        self.close()
+        self._shutdown()
         self._broken = True
 
     @property
@@ -327,4 +353,5 @@ class StrategyStore:
             "misses": self.misses,
             "stale": self.stale,
             "corrupt": self.corrupt,
+            "use_after_close": self.use_after_close,
         }

@@ -27,6 +27,28 @@ from typing import Any, Callable, Iterable, TextIO
 
 from repro.obs.tracing import jsonable
 
+#: Event names the synthesis engine's fault-tolerance layer emits.  The
+#: journal itself is schema-free — any event name is accepted — but these
+#: are documented here so report tooling and tests agree on the spelling:
+#:
+#: * ``engine.fault`` — one classified worker failure
+#:   (``kind`` in ``pool``/``transient``/``payload``, ``job``, ``detail``);
+#: * ``engine.rebuild`` — the worker pool was rebuilt after a breakage
+#:   (``attempt``, ``backoff_ms``);
+#: * ``engine.deadline`` — an in-flight speculation exceeded its deadline
+#:   and was reaped (``job``, ``deadline_ms``, ``hung``);
+#: * ``engine.degraded`` — the rebuild budget ran out; the engine fell
+#:   back to the synchronous path permanently (``reason``, ``rebuilds``);
+#: * ``engine.degraded.observed`` — the scheduler noticed the degraded
+#:   engine (``cycle``, ``rebuilds``).
+ENGINE_EVENTS = (
+    "engine.fault",
+    "engine.rebuild",
+    "engine.deadline",
+    "engine.degraded",
+    "engine.degraded.observed",
+)
+
 
 class RunJournal:
     """An append-only, sink-pluggable event log."""

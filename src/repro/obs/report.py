@@ -40,7 +40,10 @@ def summarize_journal(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
     * ``synthesis_ms`` — ``{"count", "p50", "p90", "p99", "mean", "max"}``
       over per-synthesis wall milliseconds;
     * ``stalls`` / ``recoveries`` / ``transport_failures`` /
-      ``degradation_crossings`` — event counts.
+      ``degradation_crossings`` — event counts;
+    * ``engine`` — fault-tolerance activity of the synthesis engine:
+      ``{"faults": {kind: count}, "rebuilds", "deadline_reaps",
+      "degraded"}`` (all zero/False for a run without a worker pool).
     """
     records = list(records)
 
@@ -100,6 +103,17 @@ def summarize_journal(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
         "max": latencies[-1] if latencies else math.nan,
     }
 
+    fault_kinds: dict[str, int] = {}
+    for rec in iter_events(records, "engine.fault"):
+        kind = str(rec.get("kind", "unknown"))
+        fault_kinds[kind] = fault_kinds.get(kind, 0) + 1
+    engine = {
+        "faults": fault_kinds,
+        "rebuilds": len(iter_events(records, "engine.rebuild")),
+        "deadline_reaps": len(iter_events(records, "engine.deadline")),
+        "degraded": bool(iter_events(records, "engine.degraded")),
+    }
+
     return {
         "events": len(records),
         "runs": runs,
@@ -113,6 +127,7 @@ def summarize_journal(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
             int(rec.get("cells", 1))
             for rec in iter_events(records, "degradation.crossing")
         ),
+        "engine": engine,
     }
 
 
@@ -182,4 +197,20 @@ def format_report(summary: dict[str, Any]) -> str:
         f"transport failures={summary['transport_failures']} "
         f"degradation crossings={summary['degradation_crossings']} cells"
     )
+    engine = summary.get("engine") or {}
+    if (
+        engine.get("faults")
+        or engine.get("rebuilds")
+        or engine.get("deadline_reaps")
+        or engine.get("degraded")
+    ):
+        faults = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(engine["faults"].items())
+        ) or "none"
+        lines.append(
+            f"engine faults: {faults}  rebuilds={engine['rebuilds']} "
+            f"deadline reaps={engine['deadline_reaps']} "
+            f"degraded={'yes' if engine['degraded'] else 'no'}"
+        )
     return "\n".join(lines)

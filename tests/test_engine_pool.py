@@ -13,6 +13,18 @@ from concurrent.futures import Future
 import numpy as np
 import pytest
 
+from repro.engine.pool import _Speculation
+
+
+def inject_inflight(engine, key, future=None):
+    """Register a hand-made in-flight speculation (tests only)."""
+    spec = _Speculation(
+        future if future is not None else Future(), {}, time.monotonic()
+    )
+    engine._pending[key] = spec
+    engine._by_job[key[0]] = key
+    return spec
+
 from repro.bioassay.library import EVALUATION_BIOASSAYS
 from repro.bioassay.planner import plan
 from repro.biochip.chip import MedaChip
@@ -39,12 +51,16 @@ def full_health() -> np.ndarray:
 
 
 def wait_for(engine: SynthesisEngine, the_job, health, timeout=60.0):
-    """Poll take() until the speculation completes (or fail the test)."""
+    """Wait for the in-flight work to finish, then consume it via take().
+
+    take() itself cannot be used for polling: a pending-miss *discards*
+    the speculation (the production caller immediately synthesizes
+    synchronously, so a later completion could never be consumed).
+    """
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:
-        status, strategy = engine.take(the_job, health)
-        if status not in ("pending",):
-            return status, strategy
+        if all(s.future.done() for s in engine._pending.values()):
+            return engine.take(the_job, health)
         time.sleep(0.05)
     pytest.fail("speculation never completed")
 
@@ -100,10 +116,8 @@ class TestSpeculation:
     def test_pending_counts_as_miss_and_leaves_future(self, engine):
         """A speculation that has not completed when the strategy is needed
         is a miss: the caller falls back to synchronous synthesis."""
-        never = Future()  # never completes
         key = (job().key(), b"fp")
-        engine._pending[key] = never
-        engine._by_job[job().key()] = key
+        inject_inflight(engine, key)  # never completes
         status, strategy = engine.take(job(), full_health())
         # The manufactured fingerprint cannot match, so this reports stale;
         # a genuine in-flight future reports pending (exercised below).
@@ -113,16 +127,17 @@ class TestSpeculation:
     def test_inflight_pending_falls_back(self, engine):
         from repro.core.strategy import health_fingerprint
 
-        never = Future()
         key = (job().key(), health_fingerprint(full_health(), job().hazard))
-        engine._pending[key] = never
-        engine._by_job[job().key()] = key
+        inject_inflight(engine, key)  # never completes
         status, strategy = engine.take(job(), full_health())
         assert (status, strategy) == ("pending", None)
         assert engine.misses == 1
-        # The future stays registered and is counted wasted at close.
-        engine.close()
+        # The pending-miss discards the speculation (counted wasted) so the
+        # job key is immediately free for fresh resubmission.
         assert engine.wasted == 1
+        assert job().key() not in engine._by_job
+        engine.close()
+        assert engine.wasted == 1  # not double-counted at close
 
     def test_stale_fingerprint_discarded(self, engine):
         assert engine.submit(job(), full_health())
@@ -152,7 +167,7 @@ class TestRouterIntegration:
         # synthesis.
         deadline = time.monotonic() + 60.0
         while time.monotonic() < deadline:
-            if all(f.done() for f in engine._pending.values()):
+            if all(s.future.done() for s in engine._pending.values()):
                 break
             time.sleep(0.05)
         strategy = router.plan(job(), full_health())
@@ -170,10 +185,8 @@ class TestRouterIntegration:
         from repro.core.strategy import health_fingerprint
 
         router = AdaptiveRouter(engine=engine)
-        never = Future()
         key = (job().key(), health_fingerprint(full_health(), job().hazard))
-        engine._pending[key] = never
-        engine._by_job[job().key()] = key
+        inject_inflight(engine, key)  # never completes
         strategy = router.plan(job(), full_health())
         assert strategy is not None
         assert router.syntheses == 1  # synchronous fallback
