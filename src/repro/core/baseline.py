@@ -104,6 +104,29 @@ class AdaptiveRouter:
             job, health, warm_values=self.library.warm_start(job)
         )
 
+    def prefetch_batch(
+        self, jobs: "list[RoutingJob]", health: np.ndarray
+    ) -> int:
+        """Speculatively submit a wave of jobs as one batched engine task.
+
+        The batch counterpart of :meth:`prefetch`: library-covered jobs
+        are filtered out, warm-start values are captured per job exactly
+        as a synchronous plan at this moment would, and the rest ship via
+        :meth:`~repro.engine.SynthesisEngine.presynthesize_batch` — one
+        pool task for the whole wave (or an in-process batched solve when
+        the engine has no pool).  Returns the number of jobs submitted.
+        """
+        if self.engine is None:
+            return 0
+        items = [
+            (job, self.library.warm_start(job))
+            for job in jobs
+            if not self.library.contains(job, health)
+        ]
+        if not items:
+            return 0
+        return self.engine.presynthesize_batch(items, health)
+
     def plan(self, job: RoutingJob, health: np.ndarray) -> RoutingStrategy | None:
         with obs.span("rj.plan", job=job.key()) as rj_span:
             cached = self.library.get(job, health)

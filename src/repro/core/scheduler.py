@@ -253,22 +253,36 @@ class HybridScheduler:
 
         The speculative counterpart of the paper's offline pre-synthesis
         pass: before the first cycle, all the jobs the decomposition already
-        knows about are solved on the worker pool, concurrently with the
-        assay starting to execute.  Jobs whose activation-time form differs
-        (rebased starts, routing obstacles) simply miss and fall back to
-        synchronous synthesis.  Returns the number of jobs submitted.
+        knows about are solved — as one batched engine task when the router
+        supports ``prefetch_batch`` (one pool task for the wave; without a
+        pool the engine runs the batched kernel in-process), per job
+        otherwise — concurrently with the assay starting to execute.  Jobs
+        whose activation-time form differs (rebased starts, routing
+        obstacles) simply miss and fall back to synchronous synthesis.
+        Returns the number of jobs submitted.
         """
+        prefetch_batch = getattr(self.router, "prefetch_batch", None)
         prefetch = getattr(self.router, "prefetch", None)
-        if self.engine is None or not self.engine.pooled or prefetch is None:
+        if self.engine is None or (prefetch_batch is None and (
+            not self.engine.pooled or prefetch is None
+        )):
             return 0
-        submitted = 0
+        jobs = [
+            job
+            for name in self._order
+            for job in self._states[name].decomposed.jobs
+            if not job.is_dispense
+        ]
         with obs.span("scheduler.presynthesize"):
-            for name in self._order:
-                for job in self._states[name].decomposed.jobs:
-                    if job.is_dispense:
-                        continue
-                    if prefetch(job, health):
-                        submitted += 1
+            if prefetch_batch is not None:
+                # One batched engine task for the whole wave — and, unlike
+                # the per-job path, this also works without a pool (the
+                # engine solves the batch in-process).
+                submitted = prefetch_batch(jobs, health)
+            else:
+                submitted = sum(
+                    1 for job in jobs if prefetch(job, health)
+                )
         self.prefetches += submitted
         return submitted
 

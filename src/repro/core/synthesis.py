@@ -20,6 +20,7 @@ from repro import obs, perf
 from repro.core.actions import DEFAULT_MAX_ASPECT, ActionClass
 from repro.core.fastmdp import (
     CompiledRoutingModel,
+    build_dedup_token,
     build_routing_model_fast,
     extract_fast_strategy,
 )
@@ -30,12 +31,19 @@ from repro.degradation.model import (
     DEFAULT_HEALTH_BITS,
     health_to_degradation_estimate,
 )
+from repro.modelcheck.batch import (
+    solve_reach_avoid_probability_batch,
+    solve_reach_avoid_reward_batch,
+    structural_key,
+)
 from repro.modelcheck.compiled import (
+    CompiledMDP,
     compile_mdp,
     solve_reach_avoid_probability,
     solve_reach_avoid_reward,
 )
 from repro.modelcheck.properties import Objective, Query, reward_query
+from repro.modelcheck.reachability import ValueResult
 from repro.modelcheck.strategy import MemorylessStrategy, extract_strategy
 
 #: Default convergence threshold for synthesis-time value iteration.  The
@@ -198,19 +206,7 @@ def synthesize_with_field(
             compiled = compile_mdp(model.mdp)
     t1 = time.perf_counter()
 
-    initial_values: np.ndarray | None = None
-    if warm_values and isinstance(model, CompiledRoutingModel):
-        # Map by state identity, not index: a health change alters state
-        # discovery, so the same pattern can sit at a different index.
-        # Absent states fill with the side-neutral value for the seeded
-        # bound: 1 for the Pmin upper iterate, 0 everywhere else.
-        fill = 1.0 if query.objective is Objective.PMIN else 0.0
-        initial_values = np.fromiter(
-            (warm_values.get(s, fill) for s in model.states),
-            dtype=float,
-            count=compiled.num_states,
-        )
-        perf.incr("synthesis.warm_seeded")
+    initial_values = _warm_seed(model, compiled, query, warm_values)
 
     with obs.span("synthesis.solve", states=compiled.num_states,
                   warm=initial_values is not None) as solve_span:
@@ -223,8 +219,6 @@ def synthesize_with_field(
                 epsilon=epsilon,
                 initial_values=initial_values,
             )
-            expected = float(result.values[compiled.initial])
-            probability = None
         else:
             result = solve_reach_avoid_probability(
                 compiled,
@@ -234,8 +228,6 @@ def synthesize_with_field(
                 epsilon=epsilon,
                 initial_values=initial_values,
             )
-            probability = float(result.values[compiled.initial])
-            expected = float("inf") if probability == 0.0 else float("nan")
         solve_span.set(iterations=result.iterations)
     t2 = time.perf_counter()
     perf.add_time("synthesis.construct_seconds", t1 - t0)
@@ -245,7 +237,54 @@ def synthesize_with_field(
     perf.observe("synthesis.total_ms", (t2 - t0) * 1e3)
     perf.observe("synthesis.vi_iterations", result.iterations,
                  bounds=perf.DEFAULT_COUNT_BUCKETS)
+    return _finalize(job, query, model, compiled, result, t1 - t0, t2 - t1)
 
+
+def _warm_seed(
+    model: "RoutingModel | CompiledRoutingModel",
+    compiled: CompiledMDP,
+    query: Query,
+    warm_values: "dict | None",
+) -> np.ndarray | None:
+    """Map a ``{pattern: value}`` warm-start onto a model's state indexing.
+
+    Mapped by state identity, not index: a health change alters state
+    discovery, so the same pattern can sit at a different index.  Absent
+    states fill with the side-neutral value for the seeded bound: 1 for
+    the Pmin upper iterate, 0 everywhere else.
+    """
+    if not warm_values or not isinstance(model, CompiledRoutingModel):
+        return None
+    fill = 1.0 if query.objective is Objective.PMIN else 0.0
+    seed = np.fromiter(
+        (warm_values.get(s, fill) for s in model.states),
+        dtype=float,
+        count=compiled.num_states,
+    )
+    perf.incr("synthesis.warm_seeded")
+    return seed
+
+
+def _finalize(
+    job: RoutingJob,
+    query: Query,
+    model: "RoutingModel | CompiledRoutingModel",
+    compiled: CompiledMDP,
+    result: "ValueResult",
+    construction_time: float,
+    solve_time: float,
+) -> SynthesisResult:
+    """Package a solved model into a :class:`SynthesisResult`.
+
+    Shared by the solo and batched synthesis paths, so strategy extraction
+    and the no-plan/start-coverage gating cannot diverge between them.
+    """
+    if query.objective in (Objective.RMIN, Objective.RMAX):
+        expected = float(result.values[compiled.initial])
+        probability: float | None = None
+    else:
+        probability = float(result.values[compiled.initial])
+        expected = float("inf") if probability == 0.0 else float("nan")
     if isinstance(model, CompiledRoutingModel):
         strategy: MemorylessStrategy | None = extract_fast_strategy(model, result)
     else:
@@ -268,9 +307,173 @@ def synthesize_with_field(
         expected_cycles=expected,
         success_probability=probability,
         model=model,
-        construction_time=t1 - t0,
-        solve_time=t2 - t1,
+        construction_time=construction_time,
+        solve_time=solve_time,
     )
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One synthesis problem in a :func:`synthesize_batch` call."""
+
+    job: RoutingJob
+    field: ForceField
+    warm_values: "dict | None" = None
+
+
+#: Cross-call memo of batch results keyed by the exact inputs the solve is
+#: a pure function of: ``(job key, force-window bytes, query, max_aspect,
+#: epsilon, families)``.  Synthesis is deterministic, so serving a memoized
+#: result is bit-identical to re-solving; only cold (``warm_values=None``)
+#: requests participate, which is the presynthesis/resynthesis-storm shape
+#: the batch API exists for.
+_BATCH_VALUE_MEMO: "dict[tuple, SynthesisResult]" = {}
+_BATCH_VALUE_MEMO_MAX = 512
+
+
+def clear_batch_value_memo() -> None:
+    """Drop the cross-call batch result memo (benches model cold runs)."""
+    _BATCH_VALUE_MEMO.clear()
+
+
+def synthesize_batch(
+    requests: "list[BatchRequest]",
+    query: Query | None = None,
+    max_aspect: float = DEFAULT_MAX_ASPECT,
+    epsilon: float = SYNTHESIS_EPSILON,
+    families: tuple[ActionClass, ...] | None = None,
+) -> "list[SynthesisResult]":
+    """Synthesize a family of routing jobs through the batched solver core.
+
+    Models are built per request (template-cached construction), grouped
+    into shape buckets by :func:`repro.modelcheck.batch.structural_key`,
+    and each bucket is solved in one batched interval pass.  Every result
+    is bit-identical to the corresponding :func:`synthesize_with_field`
+    call — the batch kernel guarantees identical ``ValueResult`` bounds and
+    the extraction/gating tail is literally shared code — so callers (the
+    engine's presynthesis, the scheduler's degraded sync path) can swap the
+    per-RJ loop for this without disturbing trace identity.
+
+    Requests whose field has no backing matrix fall back to the solo path.
+    Per-item ``solve_time`` is the bucket's wall-clock share (the batch
+    solves models jointly, so individual attribution is necessarily
+    amortized).
+    """
+    query = query if query is not None else reward_query()
+    n = len(requests)
+    results: "list[SynthesisResult | None]" = [None] * n
+    models: "list[CompiledRoutingModel | None]" = [None] * n
+    seeds: "list[np.ndarray | None]" = [None] * n
+    construct: "list[float]" = [0.0] * n
+    buckets: "dict[str, list[int]]" = {}
+    # Requests whose (job, force-window, warm seed) coincide with an
+    # earlier one get the earlier result verbatim: the model build is a
+    # pure function of the window bytes (see fastmdp.build_dedup_token),
+    # so the solo path would reproduce the exact same floats anyway.
+    dup_of: "dict[int, int]" = {}
+    seen: "dict[tuple, list[int]]" = {}
+    memo_key: "dict[int, tuple]" = {}
+
+    def _memo_key(job: RoutingJob, token: bytes) -> tuple:
+        return (job.key(), token, query, float(max_aspect), float(epsilon),
+                families if families is None else tuple(families))
+
+    with obs.span("synthesis.batch", jobs=n) as batch_span:
+        for i, req in enumerate(requests):
+            forces = _force_matrix(req.field)
+            if forces is None:
+                results[i] = synthesize_with_field(
+                    req.job, req.field, query=query, max_aspect=max_aspect,
+                    epsilon=epsilon, families=families,
+                    warm_values=req.warm_values,
+                )
+                continue
+            token = build_dedup_token(req.job, forces, max_aspect, families)
+            if token is not None:
+                dkey = (req.job.key(), token)
+                for j in seen.get(dkey, ()):
+                    if requests[j].warm_values == req.warm_values:
+                        dup_of[i] = j
+                        perf.incr("vi.batch.dedup")
+                        break
+                if i in dup_of:
+                    continue
+                if req.warm_values is None:
+                    hit = _BATCH_VALUE_MEMO.get(_memo_key(req.job, token))
+                    if hit is not None:
+                        results[i] = hit
+                        seen.setdefault(dkey, []).append(i)
+                        perf.incr("vi.batch.memo.hits")
+                        continue
+                    perf.incr("vi.batch.memo.misses")
+            perf.incr("synthesis.count")
+            t0 = time.perf_counter()
+            with obs.span("synthesis.construct", job=req.job.key()):
+                model = build_routing_model_fast(
+                    req.job, forces, max_aspect=max_aspect, families=families
+                )
+            construct[i] = time.perf_counter() - t0
+            perf.add_time("synthesis.construct_seconds", construct[i])
+            perf.observe("synthesis.construct_ms", construct[i] * 1e3)
+            models[i] = model
+            seeds[i] = _warm_seed(model, model.compiled, query, req.warm_values)
+            key = structural_key(model.compiled)
+            buckets.setdefault(key, []).append(i)
+            if token is None:  # first build for this geometry: window known now
+                token = build_dedup_token(req.job, forces, max_aspect, families)
+            if token is not None:
+                seen.setdefault((req.job.key(), token), []).append(i)
+                if req.warm_values is None:
+                    memo_key[i] = _memo_key(req.job, token)
+        batch_span.set(buckets=len(buckets), dedup=len(dup_of))
+
+        for idxs in buckets.values():
+            cms = [models[i].compiled for i in idxs]
+            ivs = [seeds[i] for i in idxs]
+            t0 = time.perf_counter()
+            with obs.span("synthesis.solve", states=cms[0].num_states,
+                          models=len(idxs),
+                          warm=any(s is not None for s in ivs)) as solve_span:
+                if query.objective in (Objective.RMIN, Objective.RMAX):
+                    value_results = solve_reach_avoid_reward_batch(
+                        cms,
+                        goal=query.formula.goal_label,
+                        avoid=query.formula.avoid_label,
+                        minimize=query.objective is Objective.RMIN,
+                        epsilon=epsilon,
+                        initial_values=ivs,
+                    )
+                else:
+                    value_results = solve_reach_avoid_probability_batch(
+                        cms,
+                        goal=query.formula.goal_label,
+                        avoid=query.formula.avoid_label,
+                        maximize=query.objective is Objective.PMAX,
+                        epsilon=epsilon,
+                        initial_values=ivs,
+                    )
+                solve_span.set(
+                    iterations=max(r.iterations for r in value_results)
+                )
+            share = (time.perf_counter() - t0) / len(idxs)
+            for i, vr in zip(idxs, value_results):
+                perf.add_time("synthesis.solve_seconds", share)
+                perf.observe("synthesis.solve_ms", share * 1e3)
+                perf.observe("synthesis.total_ms", (construct[i] + share) * 1e3)
+                perf.observe("synthesis.vi_iterations", vr.iterations,
+                             bounds=perf.DEFAULT_COUNT_BUCKETS)
+                results[i] = _finalize(
+                    requests[i].job, query, models[i], models[i].compiled,
+                    vr, construct[i], share,
+                )
+        for i, j in dup_of.items():
+            results[i] = results[j]
+        for i, mkey in memo_key.items():
+            if results[i] is not None:
+                if len(_BATCH_VALUE_MEMO) >= _BATCH_VALUE_MEMO_MAX:
+                    _BATCH_VALUE_MEMO.pop(next(iter(_BATCH_VALUE_MEMO)))
+                _BATCH_VALUE_MEMO[mkey] = results[i]
+    return results
 
 
 def baseline_field(width: int, height: int) -> UniformForceField:

@@ -42,8 +42,10 @@ The engine also fronts the persistent :class:`~repro.engine.store.StrategyStore`
 (``store_get``/``store_put``) so the router has a single speculation façade.
 Counters: ``engine.prefetch.{submitted,hits,misses,stale,wasted,rejected,
 deadline}``, ``engine.errors``, ``engine.fault.{pool,transient,payload}``,
-``engine.rebuilds``, ``engine.retries``, ``engine.degraded``; spans:
-``engine.submit`` / ``engine.wait``.
+``engine.rebuilds``, ``engine.retries``, ``engine.degraded``,
+``engine.batch.submitted``; spans: ``engine.submit`` / ``engine.wait`` /
+``engine.batch.submit`` (the batched presynthesis wave, also journaled as
+an ``engine.batch.submit`` event).
 """
 
 from __future__ import annotations
@@ -69,7 +71,9 @@ from repro.core.strategy import (
 )
 from repro.core.synthesis import (
     SYNTHESIS_EPSILON,
+    BatchRequest,
     force_field_from_health,
+    synthesize_batch,
     synthesize_with_field,
 )
 from repro.core.transitions import MatrixForceField
@@ -120,12 +124,61 @@ def _worker_synthesize(payload: dict) -> dict:
             payload["warm_values"], expected_side=expected_side
         ),
     )
+    return _result_payload(job, result)
+
+
+def _result_payload(job: RoutingJob, result) -> dict:
+    """The compact cross-process form of one synthesis result."""
     strategy = strategy_from_synthesis(job, result)
     return {
         "strategy": None if strategy is None else strategy.to_payload(),
         "expected_cycles": result.expected_cycles,
         "construct_ms": result.construction_time * 1e3,
         "solve_ms": result.solve_time * 1e3,
+    }
+
+
+def _worker_synthesize_batch(payload: dict) -> dict:
+    """Worker-side batched synthesis: one pool task, many routing jobs.
+
+    A whole presynthesis wave rides a single task so the batch kernel can
+    share graph precompute across same-shape members and so the worker
+    process's template cache / batch-value memo persist across waves.
+    Results come back positionally (``payload["items"]`` order); each
+    member is bit-identical to what :func:`_worker_synthesize` would have
+    returned for it (:func:`~repro.core.synthesis.synthesize_batch`
+    guarantees equivalence with the per-RJ path).
+    """
+    injector = chaos.injector()
+    if injector is not None:
+        injector.worker_inject(payload.get("chaos_token", ""))
+    field = MatrixForceField(np.asarray(payload["forces"], dtype=float))
+    query = payload["query"]
+    expected_side = side_for_objective(
+        None if query is None else query.objective
+    )
+    jobs = [job_from_payload(item["job"]) for item in payload["items"]]
+    requests = [
+        BatchRequest(
+            job,
+            field,
+            warm_values=warm_values_from_payload(
+                item["warm_values"], expected_side=expected_side
+            ),
+        )
+        for job, item in zip(jobs, payload["items"])
+    ]
+    results = synthesize_batch(
+        requests,
+        query=query,
+        max_aspect=payload["max_aspect"],
+        epsilon=payload["epsilon"],
+    )
+    return {
+        "results": [
+            _result_payload(job, result)
+            for job, result in zip(jobs, results)
+        ]
     }
 
 
@@ -147,12 +200,21 @@ def resolve_workers(workers: int) -> int:
 
 @dataclass
 class _Speculation:
-    """One in-flight worker job and the state needed to retry or reap it."""
+    """One in-flight worker job and the state needed to retry or reap it.
+
+    ``index`` is set when the speculation is one member of a batched
+    submission: several speculations then share one ``future`` (a single
+    pool task running :func:`_worker_synthesize_batch`) and ``index``
+    selects this member's slot in its ``"results"`` list.  ``payload`` is
+    always the member's *solo* payload, so retries after a pool rebuild
+    fall back to independent per-job tasks.
+    """
 
     future: Future
     payload: dict
     submitted_at: float
     attempts: int = 1
+    index: int | None = None
 
 
 class SynthesisEngine:
@@ -497,6 +559,159 @@ class SynthesisEngine:
         perf.incr("engine.prefetch.submitted")
         return True
 
+    def presynthesize_batch(
+        self,
+        items: "list[tuple[RoutingJob, dict | None]]",
+        health: np.ndarray,
+    ) -> int:
+        """Speculatively synthesize a wave of jobs as one batched task.
+
+        ``items`` pairs each routing job with its warm-start values (or
+        ``None``).  All members share the sensed ``health``; jobs already
+        in flight, already answered ``no-plan`` for this fingerprint, or
+        past the in-flight budget are skipped.  The accepted members ship
+        as a *single* pool task running the batched solver core — the
+        worker shares graph precompute across same-shape members instead
+        of re-deriving it per job — and each member is tracked as its own
+        speculation, so :meth:`take` semantics (hit / stale / pending /
+        error / deadline) are exactly those of per-job submission.  On a
+        pool failure mid-flight, members retry as independent solo tasks.
+
+        Without a pool (``workers=1`` or a degraded engine) the batch is
+        solved synchronously in-process through the same batched kernel
+        and parked as completed speculations — presynthesis still works,
+        it just blocks the caller for the solve.  Returns the number of
+        jobs accepted.
+        """
+        if self._closed or not items:
+            return 0
+        self._reap_overdue()
+        forces = force_field_from_health(
+            health, bits=self.bits, pessimistic=self.pessimistic
+        ).forces
+        side = side_for_objective(
+            None if self.query is None else self.query.objective
+        )
+        accepted: "list[tuple[_EngineKey, dict]]" = []
+        for job, warm_values in items:
+            job_key = job.key()
+            if job_key in self._by_job:
+                continue
+            key = (job_key, health_fingerprint(health, job.hazard))
+            if key in self._no_plan:
+                continue
+            if (
+                self._executor is not None
+                and len(self._pending) + len(accepted) >= self.max_inflight
+            ):
+                perf.incr("engine.prefetch.rejected")
+                continue
+            accepted.append((
+                key,
+                {
+                    "job": job_to_payload(job),
+                    "forces": forces,
+                    "query": self.query,
+                    "max_aspect": self.max_aspect,
+                    "epsilon": self.epsilon,
+                    "warm_values": warm_values_to_payload(
+                        warm_values, side=side
+                    ),
+                    "chaos_token": _chaos_token(key, 1),
+                },
+            ))
+        if not accepted:
+            return 0
+        if self._executor is None:
+            return self._presynthesize_sync(accepted)
+        batch_payload = {
+            "items": [
+                {"job": solo["job"], "warm_values": solo["warm_values"]}
+                for _, solo in accepted
+            ],
+            "forces": forces,
+            "query": self.query,
+            "max_aspect": self.max_aspect,
+            "epsilon": self.epsilon,
+            "chaos_token": (
+                f"batch|{accepted[0][0][1].hex()}|n{len(accepted)}"
+            ),
+        }
+        try:
+            with obs.span("engine.batch.submit", jobs=len(accepted)):
+                future = self._executor.submit(
+                    _worker_synthesize_batch, batch_payload
+                )
+        except BrokenProcessPool as exc:
+            self._record_fault(FaultKind.POOL, exc)
+            self._rebuild_pool()
+            return 0
+        except RuntimeError as exc:
+            self._record_fault(FaultKind.TRANSIENT, exc)
+            return 0
+        now = time.monotonic()
+        for index, (key, solo) in enumerate(accepted):
+            self._pending[key] = _Speculation(future, solo, now, index=index)
+            self._by_job[key[0]] = key
+        self.submitted += len(accepted)
+        perf.incr("engine.prefetch.submitted", len(accepted))
+        perf.incr("engine.batch.submitted")
+        obs.journal_event(
+            "engine.batch.submit", jobs=len(accepted), pooled=True
+        )
+        return len(accepted)
+
+    def _presynthesize_sync(
+        self, accepted: "list[tuple[_EngineKey, dict]]"
+    ) -> int:
+        """Pool-less presynthesis: batched kernel in-process, parked done.
+
+        The degraded / no-pool fallback of :meth:`presynthesize_batch`:
+        the wave is solved synchronously through
+        :func:`~repro.core.synthesis.synthesize_batch` and every result is
+        stored as an already-completed speculation, so the consuming
+        :meth:`take` path (and therefore routing) is unchanged.  Payloads
+        go through the same wire-format round-trip as worker submissions
+        to keep the two paths literally equivalent.
+        """
+        expected_side = side_for_objective(
+            None if self.query is None else self.query.objective
+        )
+        field = MatrixForceField(
+            np.asarray(accepted[0][1]["forces"], dtype=float)
+        )
+        jobs = [job_from_payload(solo["job"]) for _, solo in accepted]
+        requests = [
+            BatchRequest(
+                job,
+                field,
+                warm_values=warm_values_from_payload(
+                    solo["warm_values"], expected_side=expected_side
+                ),
+            )
+            for job, (_, solo) in zip(jobs, accepted)
+        ]
+        with obs.span("engine.batch.submit", jobs=len(accepted), sync=True):
+            batch_results = synthesize_batch(
+                requests,
+                query=self.query,
+                max_aspect=self.max_aspect,
+                epsilon=self.epsilon,
+            )
+        now = time.monotonic()
+        for (key, solo), job, result in zip(accepted, jobs, batch_results):
+            future: Future = Future()
+            future.set_result(_result_payload(job, result))
+            self._pending[key] = _Speculation(future, solo, now)
+            self._by_job[key[0]] = key
+        self.submitted += len(accepted)
+        perf.incr("engine.prefetch.submitted", len(accepted))
+        perf.incr("engine.batch.submitted")
+        obs.journal_event(
+            "engine.batch.submit", jobs=len(accepted), pooled=False
+        )
+        return len(accepted)
+
     def take(
         self, job: RoutingJob, health: np.ndarray
     ) -> tuple[str, RoutingStrategy | None]:
@@ -564,6 +779,9 @@ class SynthesisEngine:
                 if kind is FaultKind.POOL:
                     self._rebuild_pool()
                 return ("error", None)
+        if spec.index is not None:
+            # One member of a batched submission: select its slot.
+            payload = payload["results"][spec.index]
         self.hits += 1
         perf.incr("engine.prefetch.hits")
         if payload["strategy"] is None:

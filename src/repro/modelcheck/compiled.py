@@ -70,6 +70,9 @@ class CompiledMDP:
     _first_choice_cache: list = field(
         default_factory=list, repr=False, compare=False
     )
+    _digest_cache: list = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     @property
     def num_choices(self) -> int:

@@ -553,12 +553,67 @@ def _policy_fixpoint(
         return held
 
     chosen = settle(x0, None)
-    fellback = chosen is None
-    if fellback:
-        chosen = _exit_policy(states, Tsub, own, block)
-        if chosen is None:
-            return None
+    return _pi_finish(
+        states, Tsub, Tblock, base, own, block, chosen, budget,
+        maximize=maximize,
+    )
 
+
+def _pi_finish(
+    states: np.ndarray,
+    Tsub: sparse.csr_matrix,
+    Tblock: sparse.csr_matrix,
+    base: np.ndarray,
+    own: np.ndarray,
+    block: np.ndarray,
+    held: np.ndarray | None,
+    budget: "_Budget",
+    *,
+    maximize: bool,
+) -> np.ndarray | None:
+    """Run policy iteration from a settled policy (or the exit fallback).
+
+    ``held`` is the policy the value-iteration prelude settled on, or
+    ``None`` when settling failed — in which case the backward-BFS exit
+    policy restarts the rounds, exactly as :func:`_policy_fixpoint` does.
+    Split out so the batched kernel (:mod:`.batch`) can substitute its own
+    vectorized settling prelude and still finish each model through the
+    same rounds loop, keeping batched and solo results bit-identical.
+    """
+    fellback = held is None
+    if fellback:
+        held = _exit_policy(states, Tsub, own, block)
+        if held is None:
+            return None
+    return _pi_rounds(
+        states, Tsub, Tblock, base, own, block, held, budget,
+        maximize=maximize, fellback=fellback,
+    )
+
+
+def _pi_rounds(
+    states: np.ndarray,
+    Tsub: sparse.csr_matrix,
+    Tblock: sparse.csr_matrix,
+    base: np.ndarray,
+    own: np.ndarray,
+    block: np.ndarray,
+    chosen: np.ndarray,
+    budget: "_Budget",
+    *,
+    maximize: bool,
+    fellback: bool,
+) -> np.ndarray | None:
+    """Policy-improvement rounds from a held starting policy.
+
+    The exact-solve half of :func:`_policy_fixpoint`, split out so the
+    batched kernel (:mod:`.batch`) can run its own vectorized settling
+    prelude across many models and still finish each model through the
+    *same* rounds loop — keeping batched and solo results bit-identical.
+    """
+    fast = _make_argopt(own)
+    argopt = fast if fast is not None else (
+        lambda q, m: _argopt_idx(own, q, m))
     x = None
     lu = None
     dense = states.size <= _DIRECT_MAX
@@ -913,170 +968,230 @@ def solve_reward_interval(
     for level in range(num_levels):
         block = active & (level_of_state == level)
         idx = np.flatnonzero(usable & block[owners])
-        Tl = T[idx]
-        rl = rewards[idx]
-        own = owners[idx]
-        target = float(targets[level])
+        _solve_reward_level(
+            lower, upper, block, T[idx], rewards[idx], owners[idx], budget,
+            target=float(targets[level]), epsilon=epsilon,
+            minimize=minimize, seed=seed,
+        )
+    return IntervalSolution(lower, upper, budget.iterations, num_levels)
 
-        opt = _make_opt(own, n, maximize)
 
-        def phi_of(vec: np.ndarray) -> np.ndarray:
-            return opt(rl + Tl @ vec)
+#: Sentinel distinguishing "no presettled policy supplied" (run the full
+#: value-iteration prelude inside :func:`_policy_fixpoint`) from "settling
+#: ran externally and produced this result" (which may be ``None`` when the
+#: external prelude failed to settle).
+_NO_PRESETTLE = object()
 
-        def sweep_lower() -> np.ndarray:
-            """One monotone lower sweep; returns the per-state change."""
-            pl = phi_of(lower)
-            new = np.maximum(lower[block], pl[block])
-            d = new - lower[block]
-            lower[block] = new
-            return d
 
-        if seed is not None:
-            v = lower.copy()
-            v[block] = np.maximum(seed[block] - epsilon, 0.0)
-            phi = phi_of(v)
-            budget.tick()
-            tol = _CHECK_RTOL * (1.0 + float(np.max(v[block])))
-            if bool(np.all(phi[block] >= v[block] - tol)):
-                lower[block] = v[block]
-            else:
-                perf.incr("vi.warm.rejected")
+def _verify_reward_seed(
+    lower: np.ndarray,
+    block: np.ndarray,
+    phi_of,
+    seed: np.ndarray,
+    epsilon: float,
+    budget: "_Budget",
+) -> None:
+    """Accept a warm-start candidate for one level's lower iterate.
 
-        # Direct solve: exact policy iteration, both bounds certified from
-        # the machine-precision value in two Bellman applications (dense
-        # solves for small blocks, sparse LU for large ones).  Only for
-        # minimization, where every policy of the usable restriction
-        # that PI stabilizes on is proper; the verification gate below
-        # keeps an improper intermediate from ever leaking out.
-        states = np.flatnonzero(block)
-        if minimize and states.size <= _SPARSE_DIRECT_MAX:
+    The candidate (relaxed down by ``epsilon``, floored at 0) is kept only
+    when one Bellman application confirms it sits below the fixpoint;
+    rejections cold-start and count as ``vi.warm.rejected``.  Shared by
+    the solo per-level body and the batched kernel so the verification
+    arithmetic can never drift apart.
+    """
+    v = lower.copy()
+    v[block] = np.maximum(seed[block] - epsilon, 0.0)
+    phi = phi_of(v)
+    budget.tick()
+    tol = _CHECK_RTOL * (1.0 + float(np.max(v[block])))
+    if bool(np.all(phi[block] >= v[block] - tol)):
+        lower[block] = v[block]
+    else:
+        perf.incr("vi.warm.rejected")
+
+
+def _solve_reward_level(
+    lower: np.ndarray,
+    upper: np.ndarray,
+    block: np.ndarray,
+    Tl: sparse.csr_matrix,
+    rl: np.ndarray,
+    own: np.ndarray,
+    budget: _Budget,
+    *,
+    target: float,
+    epsilon: float,
+    minimize: bool,
+    seed: np.ndarray | None,
+    presettled=_NO_PRESETTLE,
+) -> None:
+    """Solve one condensation level of a total-reward objective in place.
+
+    The per-level body of :func:`solve_reward_interval`, split out so the
+    batched kernel (:mod:`.batch`) can drive the identical sequence of
+    operations per model while replacing only the value-iteration settling
+    prelude with its vectorized counterpart.  ``presettled`` is either the
+    :data:`_NO_PRESETTLE` sentinel (solo path: :func:`_policy_fixpoint`
+    runs its own prelude) or a ``(held, Tblock, base)`` triple from an
+    external prelude, handed straight to :func:`_pi_finish`.
+    """
+    n = lower.size
+    maximize = not minimize
+    opt = _make_opt(own, n, maximize)
+
+    def phi_of(vec: np.ndarray) -> np.ndarray:
+        return opt(rl + Tl @ vec)
+
+    def sweep_lower() -> np.ndarray:
+        """One monotone lower sweep; returns the per-state change."""
+        pl = phi_of(lower)
+        new = np.maximum(lower[block], pl[block])
+        d = new - lower[block]
+        lower[block] = new
+        return d
+
+    if seed is not None:
+        _verify_reward_seed(lower, block, phi_of, seed, epsilon, budget)
+
+    # Direct solve: exact policy iteration, both bounds certified from
+    # the machine-precision value in two Bellman applications (dense
+    # solves for small blocks, sparse LU for large ones).  Only for
+    # minimization, where every policy of the usable restriction
+    # that PI stabilizes on is proper; the verification gate below
+    # keeps an improper intermediate from ever leaking out.
+    states = np.flatnonzero(block)
+    if minimize and states.size <= _SPARSE_DIRECT_MAX:
+        if presettled is _NO_PRESETTLE:
             vals = lower.copy()
             certified = np.isfinite(upper)
             vals[certified] = 0.5 * (lower[certified] + upper[certified])
             x = _policy_fixpoint(states, Tl, rl, own, vals, block, budget,
                                  maximize=False)
-            if x is not None:
-                delta = target / 4.0
-                cl = np.maximum(lower[block], x - delta)
-                vec = lower.copy()
-                vec[block] = cl
-                budget.tick()
-                tol = _CHECK_RTOL * (1.0 + float(np.max(cl)))
-                if bool(np.all(phi_of(vec)[block] >= cl - tol)):
-                    lower[block] = cl
-                    cu = np.maximum(cl, x + delta)
-                    vec = upper.copy()
-                    vec[block] = cu
-                    budget.tick()
-                    tol = _CHECK_RTOL * (1.0 + float(np.max(cu)))
-                    if bool(np.all(phi_of(vec)[block] <= cu + tol)):
-                        upper[block] = cu
-                        np.maximum(upper, lower, out=upper)
-                        continue
-
-        # Phase A: converge the lower iterate, with verified Aitken jumps
-        # for slowly mixing components.  The stop is *error*-based, not
-        # residual-based: sweeping continues past the residual floor until
-        # the windowed geometric estimate of the remaining distance drops
-        # to the OVI offset Phase B will guess — so the verified upper
-        # lands within the level target and Phase C has nothing left to
-        # grind.  A stall valve bounds the extra sweeps in case the rate
-        # estimate refuses to certify progress (Phase C then takes over,
-        # exactly as before).
-        delta = np.inf
-        prev_delta = np.inf
-        d = prev_d = None
-        sweeps = 0
-        mark = 0
-        delta_mark = np.inf
-        hist: list[float] = []
-        stalled = 0
-        resid_floor = max(target / 4.0, 1e-300)
-        while True:
-            budget.tick()
-            sweeps += 1
-            prev_delta = delta
-            prev_d = d
-            d = sweep_lower()
-            delta = float(np.max(d))
-            if delta == 0.0:
-                break
-            hist.append(delta)
-            if delta <= resid_floor:
-                w = min(len(hist) - 1, 8)
-                err = _window_error(delta, delta, hist[-1 - w], w) if w else 0.0
-                stalled += 1
-                if err <= target / 2.0 or stalled > 4 * _EXTRAP_EVERY:
-                    break
-            if sweeps - mark < _EXTRAP_EVERY or prev_d is None:
-                continue
-            window = sweeps - mark
-            mark = sweeps
-            delta_then, delta_mark = delta_mark, delta
-            guess = _aitken(lower[block], d, prev_d, toward_upper=True)
-            if guess is None:
-                continue
-            est = np.maximum(guess, lower[block])
-            resid = np.inf
-            for _ in range(_SMOOTH_SWEEPS):
-                budget.tick()
-                vec = lower.copy()
-                vec[block] = est
-                new_est = np.maximum(phi_of(vec)[block], lower[block])
-                resid = float(np.max(np.abs(new_est - est)))
-                est = new_est
-            err = _window_error(resid, delta, delta_then, window)
-            reach = float(np.max(est - lower[block]))
-            slack = max(target / 4.0, min(err, reach / 4.0))
-            for _ in range(2):
-                cand = np.maximum(lower[block], est - slack)
-                if float(np.max(cand - lower[block])) <= 0.0:
-                    break
-                vec = lower.copy()
-                vec[block] = cand
-                phi = phi_of(vec)
-                budget.tick()
-                tol = _CHECK_RTOL * (1.0 + float(np.max(cand)))
-                if bool(np.all(phi[block] >= cand - tol)):
-                    lower[block] = cand
-                    break
-                slack *= _SLACK_GROWTH
-        if delta > 0.0:
-            w = min(len(hist) - 1, 8)
-            error_estimate = (
-                _window_error(delta, delta, hist[-1 - w], w) if w else 0.0
-            )
-            if not np.isfinite(error_estimate):
-                rho = min(
-                    max(delta / prev_delta if prev_delta > 0 else 0.0, 0.0),
-                    0.999999,
-                )
-                error_estimate = delta * rho / (1.0 - rho)
         else:
-            error_estimate = 0.0
-
-        # Phase B: optimistic upper guess + verification.
-        offset = max(min(error_estimate, 1e12), target / 2.0)
-        accepted = False
-        while not accepted:
-            upper[block] = lower[block] + offset
-            for _ in range(_OVI_VERIFY_SWEEPS):
+            held, Tblock, base = presettled
+            x = _pi_finish(states, Tl, Tblock, base, own, block, held,
+                           budget, maximize=False)
+        if x is not None:
+            delta = target / 4.0
+            cl = np.maximum(lower[block], x - delta)
+            vec = lower.copy()
+            vec[block] = cl
+            budget.tick()
+            tol = _CHECK_RTOL * (1.0 + float(np.max(cl)))
+            if bool(np.all(phi_of(vec)[block] >= cl - tol)):
+                lower[block] = cl
+                cu = np.maximum(cl, x + delta)
+                vec = upper.copy()
+                vec[block] = cu
                 budget.tick()
-                pu = phi_of(upper)
-                tol = _CHECK_RTOL * (1.0 + float(np.max(upper[block])))
-                if bool(np.all(pu[block] <= upper[block] + tol)):
-                    accepted = True
-                    upper[block] = np.minimum(upper[block], pu[block])
-                    break
-                upper[block] = np.minimum(upper[block], pu[block])
-                sweep_lower()
-                if bool(np.any(upper[block] < lower[block] - tol)):
-                    break  # guess collapsed below the lower bound
-            if not accepted:
-                offset *= _OVI_GROWTH
+                tol = _CHECK_RTOL * (1.0 + float(np.max(cu)))
+                if bool(np.all(phi_of(vec)[block] <= cu + tol)):
+                    upper[block] = cu
+                    np.maximum(upper, lower, out=upper)
+                    return
 
-        # Phase C: tighten jointly (with acceleration) to the level target.
-        _tighten(lower, upper, block, phi_of, phi_of, budget,
-                 target=target, hi=np.inf)
-        np.maximum(upper, lower, out=upper)
-    return IntervalSolution(lower, upper, budget.iterations, num_levels)
+    # Phase A: converge the lower iterate, with verified Aitken jumps
+    # for slowly mixing components.  The stop is *error*-based, not
+    # residual-based: sweeping continues past the residual floor until
+    # the windowed geometric estimate of the remaining distance drops
+    # to the OVI offset Phase B will guess — so the verified upper
+    # lands within the level target and Phase C has nothing left to
+    # grind.  A stall valve bounds the extra sweeps in case the rate
+    # estimate refuses to certify progress (Phase C then takes over,
+    # exactly as before).
+    delta = np.inf
+    prev_delta = np.inf
+    d = prev_d = None
+    sweeps = 0
+    mark = 0
+    delta_mark = np.inf
+    hist: list[float] = []
+    stalled = 0
+    resid_floor = max(target / 4.0, 1e-300)
+    while True:
+        budget.tick()
+        sweeps += 1
+        prev_delta = delta
+        prev_d = d
+        d = sweep_lower()
+        delta = float(np.max(d))
+        if delta == 0.0:
+            break
+        hist.append(delta)
+        if delta <= resid_floor:
+            w = min(len(hist) - 1, 8)
+            err = _window_error(delta, delta, hist[-1 - w], w) if w else 0.0
+            stalled += 1
+            if err <= target / 2.0 or stalled > 4 * _EXTRAP_EVERY:
+                break
+        if sweeps - mark < _EXTRAP_EVERY or prev_d is None:
+            continue
+        window = sweeps - mark
+        mark = sweeps
+        delta_then, delta_mark = delta_mark, delta
+        guess = _aitken(lower[block], d, prev_d, toward_upper=True)
+        if guess is None:
+            continue
+        est = np.maximum(guess, lower[block])
+        resid = np.inf
+        for _ in range(_SMOOTH_SWEEPS):
+            budget.tick()
+            vec = lower.copy()
+            vec[block] = est
+            new_est = np.maximum(phi_of(vec)[block], lower[block])
+            resid = float(np.max(np.abs(new_est - est)))
+            est = new_est
+        err = _window_error(resid, delta, delta_then, window)
+        reach = float(np.max(est - lower[block]))
+        slack = max(target / 4.0, min(err, reach / 4.0))
+        for _ in range(2):
+            cand = np.maximum(lower[block], est - slack)
+            if float(np.max(cand - lower[block])) <= 0.0:
+                break
+            vec = lower.copy()
+            vec[block] = cand
+            phi = phi_of(vec)
+            budget.tick()
+            tol = _CHECK_RTOL * (1.0 + float(np.max(cand)))
+            if bool(np.all(phi[block] >= cand - tol)):
+                lower[block] = cand
+                break
+            slack *= _SLACK_GROWTH
+    if delta > 0.0:
+        w = min(len(hist) - 1, 8)
+        error_estimate = (
+            _window_error(delta, delta, hist[-1 - w], w) if w else 0.0
+        )
+        if not np.isfinite(error_estimate):
+            rho = min(
+                max(delta / prev_delta if prev_delta > 0 else 0.0, 0.0),
+                0.999999,
+            )
+            error_estimate = delta * rho / (1.0 - rho)
+    else:
+        error_estimate = 0.0
+
+    # Phase B: optimistic upper guess + verification.
+    offset = max(min(error_estimate, 1e12), target / 2.0)
+    accepted = False
+    while not accepted:
+        upper[block] = lower[block] + offset
+        for _ in range(_OVI_VERIFY_SWEEPS):
+            budget.tick()
+            pu = phi_of(upper)
+            tol = _CHECK_RTOL * (1.0 + float(np.max(upper[block])))
+            if bool(np.all(pu[block] <= upper[block] + tol)):
+                accepted = True
+                upper[block] = np.minimum(upper[block], pu[block])
+                break
+            upper[block] = np.minimum(upper[block], pu[block])
+            sweep_lower()
+            if bool(np.any(upper[block] < lower[block] - tol)):
+                break  # guess collapsed below the lower bound
+        if not accepted:
+            offset *= _OVI_GROWTH
+
+    # Phase C: tighten jointly (with acceleration) to the level target.
+    _tighten(lower, upper, block, phi_of, phi_of, budget,
+             target=target, hi=np.inf)
+    np.maximum(upper, lower, out=upper)

@@ -43,7 +43,9 @@ def summarize_journal(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
       ``degradation_crossings`` — event counts;
     * ``engine`` — fault-tolerance activity of the synthesis engine:
       ``{"faults": {kind: count}, "rebuilds", "deadline_reaps",
-      "degraded"}`` (all zero/False for a run without a worker pool).
+      "degraded", "batch"}`` (all zero/False for a run without a worker
+      pool); ``batch`` counts the batched presynthesis waves
+      (``{"waves", "jobs", "sync_waves"}``).
     """
     records = list(records)
 
@@ -107,11 +109,22 @@ def summarize_journal(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
     for rec in iter_events(records, "engine.fault"):
         kind = str(rec.get("kind", "unknown"))
         fault_kinds[kind] = fault_kinds.get(kind, 0) + 1
+    batch_events = iter_events(records, "engine.batch.submit")
     engine = {
         "faults": fault_kinds,
         "rebuilds": len(iter_events(records, "engine.rebuild")),
         "deadline_reaps": len(iter_events(records, "engine.deadline")),
         "degraded": bool(iter_events(records, "engine.degraded")),
+        # Batched presynthesis waves: one event per
+        # SynthesisEngine.presynthesize_batch call that accepted jobs;
+        # ``pooled: false`` marks the in-process (no-pool) fallback.
+        "batch": {
+            "waves": len(batch_events),
+            "jobs": sum(int(rec.get("jobs", 0)) for rec in batch_events),
+            "sync_waves": sum(
+                1 for rec in batch_events if not rec.get("pooled", True)
+            ),
+        },
     }
 
     return {
@@ -198,6 +211,17 @@ def format_report(summary: dict[str, Any]) -> str:
         f"degradation crossings={summary['degradation_crossings']} cells"
     )
     engine = summary.get("engine") or {}
+    batch = engine.get("batch") or {}
+    if batch.get("waves"):
+        lines.append(
+            f"batched presynthesis: {batch['waves']} wave(s), "
+            f"{batch['jobs']} jobs"
+            + (
+                f" ({batch['sync_waves']} in-process)"
+                if batch.get("sync_waves")
+                else ""
+            )
+        )
     if (
         engine.get("faults")
         or engine.get("rebuilds")

@@ -21,6 +21,7 @@ from repro.core.baseline import AdaptiveRouter
 from repro.core.fastmdp import (
     build_routing_model_fast,
     build_routing_model_scalar,
+    clear_build_template_cache,
     clear_shape_action_memo,
     compiled_shape_actions,
 )
@@ -63,6 +64,9 @@ class TestShapeActionMemo:
         build_routing_model_fast(_job(), np.ones((W, H)))
         misses = perf.get("fastmdp.shape_memo.miss")
         assert misses > 0
+        # Clear the template cache so the rebuild actually reaches the
+        # shape-action layer (a template revalue never recompiles specs).
+        clear_build_template_cache()
         build_routing_model_fast(_job(), np.ones((W, H)))
         assert perf.get("fastmdp.shape_memo.miss") == misses
         assert perf.get("fastmdp.shape_memo.hit") > 0
