@@ -10,9 +10,21 @@ Commands:
   (:mod:`repro.engine`); ``--engine-retries``/``--engine-deadline-ms``
   bound its fault tolerance and ``--chaos`` injects deterministic faults
   (:mod:`repro.engine.chaos`);
-* ``report`` — summarize a run journal written by ``run --journal``;
+* ``report`` — summarize a run journal written by ``run --journal``
+  (``--json`` for machine-readable output, ``--slo`` to gate on
+  objectives);
+* ``monitor`` — ``run`` with the live telemetry endpoint always on:
+  serves OpenMetrics ``/metrics`` and JSON ``/healthz`` while the
+  bioassay executes (``--port``, default 9178);
 * ``synth`` — synthesize a single routing job and print the route map;
 * ``degradation`` — print the D(n)/H(n) lifetime table for given (tau, c).
+
+The live telemetry plane (``--monitor-port`` / ``--snapshot-interval-ms``
+/ ``--slo``) is shared between ``run`` and ``monitor``: a monitor
+endpoint, a background :class:`~repro.obs.pump.TelemetryPump` journaling
+periodic metric snapshots and /proc resource samples, and declarative
+SLOs (:mod:`repro.obs.slo`) evaluated at the end of the run — a violated
+objective exits 4 (run failures still exit 1).
 """
 
 from __future__ import annotations
@@ -44,6 +56,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.biochip.simulator import MedaSimulator
     from repro.core.baseline import AdaptiveRouter, BaselineRouter
     from repro.core.scheduler import HybridScheduler
+
+    slos = []
+    if args.slo:
+        from repro.obs.slo import parse_slo
+
+        try:
+            slos = [parse_slo(text) for text in args.slo]
+        except ValueError as exc:
+            print(f"bad --slo spec: {exc}", file=sys.stderr)
+            return 2
 
     if args.file:
         from repro.bioassay.io import load_graph
@@ -90,12 +112,106 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         router = BaselineRouter(args.width, args.height)
 
+    # Mark metric propagation wanted whenever the telemetry plane is in
+    # play, so pool workers ship their metric deltas back even when
+    # neither tracing nor a journal is on (e.g. a bare /metrics endpoint).
+    want_metrics = (
+        args.monitor_port is not None
+        or args.snapshot_interval_ms is not None
+        or bool(slos)
+    )
     tracer, _ = obs.configure(
         tracing=args.trace is not None,
         journal=args.journal,
+        metrics=True if want_metrics else None,
     )
 
+    monitor = None
+    if args.monitor_port is not None:
+        from repro.obs.monitor import MonitorServer
+
+        def _health() -> dict:
+            return {
+                "bioassay": args.bioassay,
+                "router": args.router,
+                "workers": args.workers,
+                "engine_degraded": bool(
+                    engine is not None and engine.degraded
+                ),
+            }
+
+        monitor = MonitorServer(
+            port=args.monitor_port, host=args.monitor_host, health=_health
+        )
+        try:
+            monitor.start()
+        except OSError as exc:
+            print(f"cannot start monitor endpoint: {exc}", file=sys.stderr)
+            obs.shutdown()
+            if engine is not None:
+                engine.close()
+            return 2
+        print(f"monitor: {monitor.url}/metrics (OpenMetrics), "
+              f"{monitor.url}/healthz")
+
+    pump = None
+    if args.snapshot_interval_ms is not None:
+        journal = obs.journal()
+        if journal is None:
+            print("--snapshot-interval-ms needs --journal (snapshots are "
+                  "journal events)", file=sys.stderr)
+            if monitor is not None:
+                monitor.stop()
+            obs.shutdown()
+            if engine is not None:
+                engine.close()
+            return 2
+        from repro.obs.pump import TelemetryPump
+
+        try:
+            pump = TelemetryPump(
+                journal,
+                interval_s=args.snapshot_interval_ms / 1e3,
+                worker_pids=(
+                    engine.worker_pids
+                    if engine is not None and engine.pooled
+                    else None
+                ),
+            )
+        except ValueError as exc:
+            print(f"bad --snapshot-interval-ms: {exc}", file=sys.stderr)
+            if monitor is not None:
+                monitor.stop()
+            obs.shutdown()
+            if engine is not None:
+                engine.close()
+            return 2
+        pump.start()
+
     total_failures = 0
+    slo_results = None
+    cleaned = {"engine": False, "pump": False}
+
+    def _close_engine() -> None:
+        if engine is None or cleaned["engine"]:
+            return
+        cleaned["engine"] = True
+        engine.close()
+        if engine.degraded:
+            print("engine: worker pool degraded mid-run; finished on "
+                  "the synchronous path", file=sys.stderr)
+        if args.perf:
+            pairs = ", ".join(
+                f"{k}={v}" for k, v in engine.counters().items()
+            )
+            print(f"engine: {pairs}")
+
+    def _stop_pump() -> None:
+        if pump is None or cleaned["pump"]:
+            return
+        cleaned["pump"] = True
+        pump.stop(flush=True)
+
     try:
         for run_idx in range(args.runs):
             obs.journal_event("cli.run", run=run_idx + 1,
@@ -111,17 +227,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"run {run_idx + 1}: {status:24s} cycles={result.cycles:4d} "
                   f"replans={result.resyntheses}")
             total_failures += 0 if result.success else 1
+        # Orderly teardown before the SLO gate: closing the engine salvages
+        # any remaining worker telemetry (merging worker-side metric deltas
+        # and spans), and the pump's final flush then journals a snapshot
+        # that includes them — so objectives can gate on worker metrics.
+        _close_engine()
+        _stop_pump()
+        if slos:
+            from repro.obs.slo import evaluate
+
+            # One-shot evaluation at end of run: the live metric snapshot
+            # plus derived run-level values the objectives commonly gate on.
+            slo_snapshot = dict(perf.snapshot())
+            slo_snapshot["runs"] = float(args.runs)
+            slo_snapshot["failures"] = float(total_failures)
+            slo_snapshot["completion_probability"] = (
+                (args.runs - total_failures) / args.runs if args.runs else 1.0
+            )
+            slo_results = evaluate(slos, slo_snapshot)
+            for result_entry in slo_results:
+                obs.journal_event("slo.result", **result_entry.to_record())
     finally:
-        if engine is not None:
-            engine.close()
-            if engine.degraded:
-                print("engine: worker pool degraded mid-run; finished on "
-                      "the synchronous path", file=sys.stderr)
-            if args.perf:
-                pairs = ", ".join(
-                    f"{k}={v}" for k, v in engine.counters().items()
-                )
-                print(f"engine: {pairs}")
+        _close_engine()
+        _stop_pump()
+        if monitor is not None:
+            monitor.stop()
         if tracer is not None and args.trace is not None:
             spans_path = args.trace + ".spans.jsonl"
             tracer.export_chrome(args.trace)
@@ -138,19 +268,76 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.show_wear:
         print("\nchip wear (light = healthy, dense = degraded):")
         print(render_degradation(chip.degradation()))
-    return 1 if total_failures else 0
+    exit_code = 1 if total_failures else 0
+    if slo_results is not None:
+        from repro.obs.slo import format_results
+
+        print("\nSLOs:")
+        print(format_results(slo_results))
+        if not all(r.ok for r in slo_results) and exit_code == 0:
+            exit_code = 4
+    return exit_code
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
     from repro.obs.journal import read_journal
-    from repro.obs.report import format_report, summarize_journal
+    from repro.obs.report import (
+        format_report,
+        sanitize_summary,
+        summarize_journal,
+    )
 
     try:
         records = read_journal(args.journal)
     except (OSError, ValueError) as exc:
         print(f"cannot read journal: {exc}", file=sys.stderr)
         return 2
-    print(format_report(summarize_journal(records)))
+    summary = summarize_journal(records)
+
+    slo_results = None
+    if args.slo:
+        from repro.obs.slo import evaluate, parse_slo
+
+        try:
+            specs = [parse_slo(text) for text in args.slo]
+        except ValueError as exc:
+            print(f"bad --slo spec: {exc}", file=sys.stderr)
+            return 2
+        # Evaluate against the last streamed metric snapshot (when the run
+        # had a TelemetryPump) plus values derived from the journal itself,
+        # so objectives work even on journals without snapshots.
+        snapshot = dict(summary["telemetry"]["last_metrics"] or {})
+        runs = summary["runs"]
+        if runs:
+            successes = sum(1 for run in runs if run.get("success"))
+            snapshot.setdefault(
+                "completion_probability", successes / len(runs)
+            )
+            snapshot.setdefault("runs", float(len(runs)))
+        for stat, value in summary["synthesis_ms"].items():
+            if value is not None:
+                snapshot.setdefault(f"synthesis_ms.{stat}", value)
+        snapshot.setdefault("resyntheses", float(len(summary["resyntheses"])))
+        slo_results = evaluate(specs, snapshot)
+
+    if args.json:
+        payload = sanitize_summary(summary)
+        if slo_results is not None:
+            payload["slos"] = sanitize_summary(
+                [r.to_record() for r in slo_results]
+            )
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_report(summary))
+        if slo_results is not None:
+            from repro.obs.slo import format_results
+
+            print("\nSLOs:")
+            print(format_results(slo_results))
+    if slo_results is not None and not all(r.ok for r in slo_results):
+        return 4
     return 0
 
 
@@ -224,19 +411,8 @@ def _workers_arg(value: str) -> int:
     return workers
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Adaptive droplet routing for MEDA biochips (DATE 2021 "
-                    "reproduction)",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    sub.add_parser("list", help="list the bioassay suite").set_defaults(
-        func=_cmd_list
-    )
-
-    run = sub.add_parser("run", help="execute a bioassay on a sampled chip")
+def _add_run_options(run: argparse.ArgumentParser) -> None:
+    """Register the execution options shared by ``run`` and ``monitor``."""
     run.add_argument("--bioassay", default="covid-rat")
     run.add_argument("--file", default=None,
                      help="load the bioassay from a JSON file instead")
@@ -287,12 +463,77 @@ def build_parser() -> argparse.ArgumentParser:
                           "plus a PATH.spans.jsonl span log")
     run.add_argument("--journal", metavar="PATH", default=None,
                      help="write the run journal (JSONL) to PATH")
+
+
+def _add_telemetry_options(
+    parser: argparse.ArgumentParser,
+    monitor_flag: str = "--monitor-port",
+    monitor_default: "int | None" = None,
+) -> None:
+    """Register the live telemetry plane options (run and monitor)."""
+    parser.add_argument(monitor_flag, dest="monitor_port", type=int,
+                        default=monitor_default, metavar="PORT",
+                        help="serve OpenMetrics /metrics and JSON /healthz "
+                             "on this port while the run executes "
+                             "(0 = ephemeral port)")
+    parser.add_argument("--monitor-host", default="127.0.0.1",
+                        metavar="HOST",
+                        help="bind address for the monitor endpoint "
+                             "(default 127.0.0.1)")
+    parser.add_argument("--snapshot-interval-ms", type=float, default=None,
+                        metavar="MS",
+                        help="journal a telemetry.snapshot (metrics) and "
+                             "telemetry.resources (/proc RSS+CPU, worker "
+                             "liveness) event every MS milliseconds "
+                             "(needs --journal)")
+    parser.add_argument("--slo", action="append", default=None,
+                        metavar="SPEC",
+                        help="declarative objective evaluated at end of "
+                             "run, e.g. 'p99(synthesis.total_ms) < 50' or "
+                             "'completion_probability == 1.0'; violations "
+                             "exit 4 (repeatable)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive droplet routing for MEDA biochips (DATE 2021 "
+                    "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the bioassay suite").set_defaults(
+        func=_cmd_list
+    )
+
+    run = sub.add_parser("run", help="execute a bioassay on a sampled chip")
+    _add_run_options(run)
+    _add_telemetry_options(run)
     run.set_defaults(func=_cmd_run)
+
+    from repro.obs.monitor import DEFAULT_PORT
+
+    mon = sub.add_parser(
+        "monitor",
+        help="run a bioassay with the live telemetry endpoint always on",
+    )
+    _add_run_options(mon)
+    _add_telemetry_options(
+        mon, monitor_flag="--port", monitor_default=DEFAULT_PORT
+    )
+    mon.set_defaults(func=_cmd_run)
 
     rep = sub.add_parser(
         "report", help="summarize a run journal written by `run --journal`"
     )
     rep.add_argument("journal", help="path to the journal JSONL file")
+    rep.add_argument("--json", action="store_true",
+                     help="emit the summary as JSON (NaN-free) instead of "
+                          "the terminal rendering")
+    rep.add_argument("--slo", action="append", default=None, metavar="SPEC",
+                     help="evaluate an objective against the journal's last "
+                          "telemetry snapshot and derived run values; "
+                          "violations exit 4 (repeatable)")
     rep.set_defaults(func=_cmd_report)
 
     synth = sub.add_parser("synth", help="synthesize one routing job")

@@ -46,6 +46,14 @@ deadline}``, ``engine.errors``, ``engine.fault.{pool,transient,payload}``,
 ``engine.batch.submitted``; spans: ``engine.submit`` / ``engine.wait`` /
 ``engine.batch.submit`` (the batched presynthesis wave, also journaled as
 an ``engine.batch.submit`` event).
+
+**Telemetry propagation** (:mod:`repro.obs.propagate`): when the parent
+has any telemetry configured, submissions carry a capture config, workers
+record their solve in a process-local ``worker.solve`` span (plus
+``worker.synthesis`` journal events and a ``worker.solves`` counter), and
+the bundle rides back on the result payload; :meth:`SynthesisEngine.take`
+grafts it under the submitting span, so one merged Perfetto export shows
+``engine.submit -> worker.solve -> take`` end to end.
 """
 
 from __future__ import annotations
@@ -53,6 +61,7 @@ from __future__ import annotations
 import os
 import signal
 import time
+from collections import deque
 from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -60,6 +69,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import obs, perf
+from repro.obs.propagate import WorkerCapture, capture_config, merge_telemetry
 from repro.core.actions import DEFAULT_MAX_ASPECT
 from repro.core.routing_job import RoutingJob
 from repro.core.strategy import (
@@ -80,6 +90,7 @@ from repro.core.transitions import MatrixForceField
 from repro.engine import chaos
 from repro.engine.faults import FaultKind, RetryPolicy, classify_failure
 from repro.engine.payload import (
+    correlation_id,
     side_for_objective,
     warm_values_from_payload,
     warm_values_to_payload,
@@ -114,17 +125,34 @@ def _worker_synthesize(payload: dict) -> dict:
     expected_side = side_for_objective(
         None if query is None else query.objective
     )
-    result = synthesize_with_field(
-        job,
-        field,
-        query=query,
-        max_aspect=payload["max_aspect"],
-        epsilon=payload["epsilon"],
-        warm_values=warm_values_from_payload(
-            payload["warm_values"], expected_side=expected_side
-        ),
-    )
-    return _result_payload(job, result)
+    capture = WorkerCapture(payload.get("telemetry"))
+    with capture:
+        started = time.perf_counter()
+        with obs.span("worker.solve", job=job.key(), corr=capture.corr):
+            result = synthesize_with_field(
+                job,
+                field,
+                query=query,
+                max_aspect=payload["max_aspect"],
+                epsilon=payload["epsilon"],
+                warm_values=warm_values_from_payload(
+                    payload["warm_values"], expected_side=expected_side
+                ),
+            )
+        out = _result_payload(job, result)
+        perf.incr("worker.solves")
+        obs.journal_event(
+            "worker.synthesis",
+            job=job.key(),
+            ms=round((time.perf_counter() - started) * 1e3, 3),
+            construct_ms=out["construct_ms"],
+            solve_ms=out["solve_ms"],
+            exists=out["strategy"] is not None,
+        )
+    bundle = capture.export()
+    if bundle is not None:
+        out["telemetry"] = bundle
+    return out
 
 
 def _result_payload(job: RoutingJob, result) -> dict:
@@ -168,18 +196,40 @@ def _worker_synthesize_batch(payload: dict) -> dict:
         )
         for job, item in zip(jobs, payload["items"])
     ]
-    results = synthesize_batch(
-        requests,
-        query=query,
-        max_aspect=payload["max_aspect"],
-        epsilon=payload["epsilon"],
-    )
-    return {
-        "results": [
-            _result_payload(job, result)
-            for job, result in zip(jobs, results)
-        ]
-    }
+    capture = WorkerCapture(payload.get("telemetry"))
+    with capture:
+        started = time.perf_counter()
+        with obs.span(
+            "worker.solve", jobs=len(jobs), batch=True, corr=capture.corr
+        ):
+            results = synthesize_batch(
+                requests,
+                query=query,
+                max_aspect=payload["max_aspect"],
+                epsilon=payload["epsilon"],
+            )
+        out: dict = {
+            "results": [
+                _result_payload(job, result)
+                for job, result in zip(jobs, results)
+            ]
+        }
+        perf.incr("worker.solves", len(jobs))
+        batch_ms = round((time.perf_counter() - started) * 1e3, 3)
+        for job, member in zip(jobs, out["results"]):
+            obs.journal_event(
+                "worker.synthesis",
+                job=job.key(),
+                batch=True,
+                batch_ms=batch_ms,
+                construct_ms=member["construct_ms"],
+                solve_ms=member["solve_ms"],
+                exists=member["strategy"] is not None,
+            )
+    bundle = capture.export()
+    if bundle is not None:
+        out["telemetry"] = bundle
+    return out
 
 
 def resolve_workers(workers: int) -> int:
@@ -207,7 +257,10 @@ class _Speculation:
     pool task running :func:`_worker_synthesize_batch`) and ``index``
     selects this member's slot in its ``"results"`` list.  ``payload`` is
     always the member's *solo* payload, so retries after a pool rebuild
-    fall back to independent per-job tasks.
+    fall back to independent per-job tasks.  ``span_id`` is the submitting
+    ``engine.submit`` / ``engine.batch.submit`` span, under which any
+    worker-side spans shipped back on the result are grafted at
+    consumption time (see :mod:`repro.obs.propagate`).
     """
 
     future: Future
@@ -215,6 +268,7 @@ class _Speculation:
     submitted_at: float
     attempts: int = 1
     index: int | None = None
+    span_id: int | None = None
 
 
 class SynthesisEngine:
@@ -273,6 +327,11 @@ class SynthesisEngine:
         )
         self._pending: dict[_EngineKey, _Speculation] = {}
         self._by_job: dict[tuple[int, ...], _EngineKey] = {}
+        # Discarded speculations whose worker task was still running: their
+        # telemetry bundles (worker.solve spans, metric deltas) are salvaged
+        # once the future completes, so the trace shows the wasted worker
+        # work too.  Bounded: overflow drops the oldest un-salvageable entry.
+        self._zombies: deque[_Speculation] = deque(maxlen=128)
         # Consumed speculations that found no plan: a definitive answer for
         # that exact key (the library never caches None), so don't resubmit.
         self._no_plan: set[_EngineKey] = set()
@@ -300,6 +359,7 @@ class SynthesisEngine:
         """Shut the pool down; unconsumed speculations count as wasted."""
         self._closed = True
         self._drop_all_speculations()
+        self._drain_zombies(final=True)
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
@@ -374,8 +434,54 @@ class SynthesisEngine:
         if leftover:
             self.wasted += leftover
             perf.incr("engine.prefetch.wasted", leftover)
+        for spec in self._pending.values():
+            self._note_unconsumed(spec)
         self._pending.clear()
         self._by_job.clear()
+
+    # -- wasted-work telemetry salvage ---------------------------------------
+
+    def _note_unconsumed(self, spec: _Speculation) -> None:
+        """Queue a discarded speculation for telemetry salvage.
+
+        A pending-missed / stale / reaped / dropped speculation's worker
+        task usually completes *after* the engine gave up on it; its
+        telemetry bundle (worker.solve span, metric delta) still describes
+        real work and is merged once the future finishes — wasted worker
+        computation is exactly what an operator wants visible in a trace.
+        """
+        if spec.future.done():
+            self._salvage_telemetry(spec)
+        else:
+            self._zombies.append(spec)
+
+    def _salvage_telemetry(self, spec: _Speculation) -> None:
+        """Merge the telemetry of one completed, unconsumed speculation."""
+        future = spec.future
+        if not future.done() or future.cancelled():
+            return
+        if future.exception() is not None:
+            return
+        payload = future.result()
+        if isinstance(payload, dict):
+            telemetry = payload.pop("telemetry", None)
+            if telemetry is not None:
+                merge_telemetry(telemetry, parent_span_id=spec.span_id)
+
+    def _drain_zombies(self, final: bool = False) -> None:
+        """Salvage telemetry from discarded speculations that finished.
+
+        Called opportunistically (futures complete roughly in submission
+        order, so only the completed front is drained) and once more with
+        ``final=True`` at close, where every remaining entry gets its last
+        chance before the executor is torn down.
+        """
+        if final:
+            while self._zombies:
+                self._salvage_telemetry(self._zombies.popleft())
+            return
+        while self._zombies and self._zombies[0].future.done():
+            self._salvage_telemetry(self._zombies.popleft())
 
     def _rebuild_pool(self) -> bool:
         """Replace a broken executor (backoff + budget); False = degraded.
@@ -454,6 +560,7 @@ class SynthesisEngine:
         self.wasted += 1
         perf.incr("engine.prefetch.deadline")
         perf.incr("engine.prefetch.wasted")
+        self._note_unconsumed(spec)
         obs.journal_event(
             "engine.deadline",
             job=key[0],
@@ -538,8 +645,11 @@ class SynthesisEngine:
             ),
             "chaos_token": _chaos_token(key, 1),
         }
+        telemetry = capture_config(corr=correlation_id(job_key, fingerprint))
+        if telemetry is not None:
+            payload["telemetry"] = telemetry
         try:
-            with obs.span("engine.submit", job=job_key):
+            with obs.span("engine.submit", job=job_key) as submit_span:
                 future = self._executor.submit(_worker_synthesize, payload)
         except BrokenProcessPool as exc:
             # The pool died under us (worker OOM-kill / crash): classify,
@@ -553,7 +663,10 @@ class SynthesisEngine:
             # count and decline rather than crash the scheduler loop.
             self._record_fault(FaultKind.TRANSIENT, exc, job_key)
             return False
-        self._pending[key] = _Speculation(future, payload, time.monotonic())
+        self._pending[key] = _Speculation(
+            future, payload, time.monotonic(),
+            span_id=getattr(submit_span, "span_id", None),
+        )
         self._by_job[job_key] = key
         self.submitted += 1
         perf.incr("engine.prefetch.submitted")
@@ -606,20 +719,24 @@ class SynthesisEngine:
             ):
                 perf.incr("engine.prefetch.rejected")
                 continue
-            accepted.append((
-                key,
-                {
-                    "job": job_to_payload(job),
-                    "forces": forces,
-                    "query": self.query,
-                    "max_aspect": self.max_aspect,
-                    "epsilon": self.epsilon,
-                    "warm_values": warm_values_to_payload(
-                        warm_values, side=side
-                    ),
-                    "chaos_token": _chaos_token(key, 1),
-                },
-            ))
+            solo = {
+                "job": job_to_payload(job),
+                "forces": forces,
+                "query": self.query,
+                "max_aspect": self.max_aspect,
+                "epsilon": self.epsilon,
+                "warm_values": warm_values_to_payload(
+                    warm_values, side=side
+                ),
+                "chaos_token": _chaos_token(key, 1),
+            }
+            # Solo payloads carry their own capture config so a retry
+            # after a pool rebuild (which resubmits members as independent
+            # tasks) still propagates telemetry.
+            telemetry = capture_config(corr=correlation_id(key[0], key[1]))
+            if telemetry is not None:
+                solo["telemetry"] = telemetry
+            accepted.append((key, solo))
         if not accepted:
             return 0
         if self._executor is None:
@@ -637,8 +754,15 @@ class SynthesisEngine:
                 f"batch|{accepted[0][0][1].hex()}|n{len(accepted)}"
             ),
         }
+        telemetry = capture_config(
+            corr=f"batch@{accepted[0][0][1].hex()[:12]}*{len(accepted)}"
+        )
+        if telemetry is not None:
+            batch_payload["telemetry"] = telemetry
         try:
-            with obs.span("engine.batch.submit", jobs=len(accepted)):
+            with obs.span(
+                "engine.batch.submit", jobs=len(accepted)
+            ) as batch_span:
                 future = self._executor.submit(
                     _worker_synthesize_batch, batch_payload
                 )
@@ -650,8 +774,11 @@ class SynthesisEngine:
             self._record_fault(FaultKind.TRANSIENT, exc)
             return 0
         now = time.monotonic()
+        batch_span_id = getattr(batch_span, "span_id", None)
         for index, (key, solo) in enumerate(accepted):
-            self._pending[key] = _Speculation(future, solo, now, index=index)
+            self._pending[key] = _Speculation(
+                future, solo, now, index=index, span_id=batch_span_id
+            )
             self._by_job[key[0]] = key
         self.submitted += len(accepted)
         perf.incr("engine.prefetch.submitted", len(accepted))
@@ -740,6 +867,7 @@ class SynthesisEngine:
           budget, and the caller falls back to synchronous synthesis.
         """
         job_key = job.key()
+        self._drain_zombies()
         self._reap_overdue(exclude=self._by_job.get(job_key))
         inflight = self._by_job.get(job_key)
         if inflight is None:
@@ -779,6 +907,13 @@ class SynthesisEngine:
                 if kind is FaultKind.POOL:
                     self._rebuild_pool()
                 return ("error", None)
+        # Worker telemetry rides the top-level result payload; pop it
+        # *before* selecting a batch member's slot so the bundle (shared by
+        # every member of a batched task) merges exactly once — the first
+        # consuming take grafts it, later members find it already gone.
+        telemetry = payload.pop("telemetry", None)
+        if telemetry is not None:
+            merge_telemetry(telemetry, parent_span_id=spec.span_id)
         if spec.index is not None:
             # One member of a batched submission: select its slot.
             payload = payload["results"][spec.index]
@@ -795,6 +930,17 @@ class SynthesisEngine:
         if spec is not None:  # abandoned, not cancelled — see _drop_all
             self.wasted += 1
             perf.incr("engine.prefetch.wasted")
+            self._note_unconsumed(spec)
+
+    def worker_pids(self) -> list[int]:
+        """Pids of the pool's live worker processes (empty when poolless).
+
+        Best-effort over the executor's internal process table — the same
+        table :meth:`_kill_worker_processes` uses — for the telemetry
+        pump's per-worker resource/liveness sampling.
+        """
+        processes = getattr(self._executor, "_processes", None) or {}
+        return [pid for pid in list(processes.keys()) if pid is not None]
 
     # -- persistent store façade ----------------------------------------------
 

@@ -22,10 +22,25 @@ from __future__ import annotations
 
 import json
 import threading
+import warnings
 from pathlib import Path
 from typing import Any, Callable, Iterable, TextIO
 
 from repro.obs.tracing import jsonable
+
+#: Version stamped into every emitted record as ``schema_version``.  Bump
+#: when the meaning of a shared field changes (not when events are added —
+#: the journal stays schema-free at the event level).  Version history:
+#:
+#: * **1** — initial versioned schema: ``seq`` (journal-wide monotone),
+#:   optional ``cycle``, free-form event fields; adds the cross-process
+#:   ``worker_pid``/``corr`` correlation fields and the ``telemetry.*``
+#:   streaming-snapshot events.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Versions :func:`validate_event` accepts.  ``0`` stands for pre-version
+#: journals (no ``schema_version`` field), which remain readable.
+SUPPORTED_SCHEMA_VERSIONS = (0, JOURNAL_SCHEMA_VERSION)
 
 #: Event names the synthesis engine's fault-tolerance layer emits.  The
 #: journal itself is schema-free — any event name is accepted — but these
@@ -77,7 +92,11 @@ class RunJournal:
         """Append one event record and forward it to the sink."""
         with self._lock:
             self._seq += 1
-            record: dict[str, Any] = {"seq": self._seq, "event": event}
+            record: dict[str, Any] = {
+                "seq": self._seq,
+                "schema_version": JOURNAL_SCHEMA_VERSION,
+                "event": event,
+            }
             if cycle is not None:
                 record["cycle"] = int(cycle)
             for key, value in fields.items():
@@ -112,20 +131,76 @@ class RunJournal:
         self.close()
 
 
-def read_journal(path: "str | Path") -> list[dict[str, Any]]:
-    """Parse a JSONL journal file back into record dicts."""
+def validate_event(record: Any) -> dict[str, Any]:
+    """Check one journal record against the shared-field schema.
+
+    Raises ``ValueError`` naming the first problem; returns the record
+    unchanged when valid so the call composes (``validate_event(rec)``).
+    Event-specific fields are intentionally not constrained — the journal
+    is schema-free at that level — only the fields every consumer relies
+    on: ``seq`` (positive int), ``event`` (non-empty str), ``cycle``
+    (non-negative int when present) and a supported ``schema_version``.
+    """
+    if not isinstance(record, dict):
+        raise ValueError(f"journal record must be a dict, got {type(record).__name__}")
+    seq = record.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 1:
+        raise ValueError(f"journal record needs a positive int 'seq', got {seq!r}")
+    event = record.get("event")
+    if not isinstance(event, str) or not event:
+        raise ValueError(f"journal record needs a non-empty 'event', got {event!r}")
+    version = record.get("schema_version", 0)
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise ValueError(
+            f"unsupported journal schema_version {version!r} "
+            f"(supported: {SUPPORTED_SCHEMA_VERSIONS})"
+        )
+    cycle = record.get("cycle")
+    if cycle is not None and (
+        not isinstance(cycle, int) or isinstance(cycle, bool) or cycle < 0
+    ):
+        raise ValueError(f"journal 'cycle' must be a non-negative int, got {cycle!r}")
+    return record
+
+
+def read_journal(
+    path: "str | Path", strict: bool = False
+) -> list[dict[str, Any]]:
+    """Parse a JSONL journal file back into record dicts.
+
+    A run that crashed (or was SIGKILLed) mid-``write`` leaves a partial
+    final line; that is expected wreckage, so by default it is dropped
+    with a ``RuntimeWarning`` naming the line instead of raising — the
+    intact prefix is exactly what post-mortem tooling needs.  Garbage
+    *before* the last line means the file is not a journal (or was
+    corrupted at rest) and still raises ``ValueError``; ``strict=True``
+    restores raising for the trailing line too.
+    """
     records = []
     with open(path, encoding="utf-8") as fh:
-        for line_no, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{path}:{line_no}: not a JSON record: {exc}"
-                ) from exc
+        lines = fh.readlines()
+    last_content_line = 0
+    for line_no, line in enumerate(lines, start=1):
+        if line.strip():
+            last_content_line = line_no
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if line_no == last_content_line and not strict:
+                warnings.warn(
+                    f"{path}:{line_no}: dropping partial trailing record "
+                    f"(crashed run?): {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            raise ValueError(
+                f"{path}:{line_no}: not a JSON record: {exc}"
+            ) from exc
     return records
 
 

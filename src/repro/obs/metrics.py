@@ -133,6 +133,37 @@ class Histogram:
         """``{"p50": ..., "p90": ..., "p99": ...}`` for the given quantiles."""
         return {f"p{round(q * 100)}": self.quantile(q) for q in qs}
 
+    def state(self) -> dict:
+        """The histogram's full mergeable state (see ``merge_state``)."""
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Used to merge worker-side deltas into the parent registry; both
+        sides observe through the shared bucket constants, so mismatched
+        bounds are a wiring bug and raise instead of silently mis-binning.
+        """
+        if tuple(float(b) for b in state["bounds"]) != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ"
+            )
+        for i, c in enumerate(state["bucket_counts"]):
+            self.bucket_counts[i] += c
+        self.count += state["count"]
+        self.sum += state["sum"]
+        if state["min"] is not None and state["min"] < self.min:
+            self.min = float(state["min"])
+        if state["max"] is not None and state["max"] > self.max:
+            self.max = float(state["max"])
+
     def summary(self) -> dict[str, float]:
         """count/sum/min/max/mean plus p50/p90/p99, for reports and JSON."""
         out: dict[str, float] = {
@@ -261,3 +292,91 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+    # -- streaming state: export / delta / merge ------------------------------
+
+    def export_state(self) -> dict:
+        """A consistent, JSON/pickle-safe copy of every instrument's state.
+
+        Unlike :meth:`snapshot` (which pre-digests histograms into
+        quantiles), the exported state is *mergeable*: bucket counts travel
+        raw, so two states can be subtracted (:func:`state_delta`) or folded
+        into another registry (:meth:`merge`) without losing distribution
+        information.  Taken under the registry lock, so concurrent updates
+        never produce a torn state.
+        """
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in self._counters.items()},
+                "gauges": {n: g.value for n, g in self._gauges.items()},
+                "histograms": {
+                    n: h.state() for n, h in self._histograms.items()
+                },
+            }
+
+    def delta_since(self, baseline: "dict | None") -> dict:
+        """The change in every instrument since ``baseline`` (an earlier
+        :meth:`export_state`); ``None`` means "since empty"."""
+        return state_delta(baseline, self.export_state())
+
+    def merge(self, state: dict) -> None:
+        """Fold an exported state (typically a worker-side delta) in.
+
+        Counters and histogram contents are additive; gauges are
+        last-write-wins (the incoming level overwrites).  Histograms are
+        created with the incoming bounds when absent locally.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.incr(name, value)
+        for name, value in state.get("gauges", {}).items():
+            self.set_gauge(name, value)
+        for name, hist_state in state.get("histograms", {}).items():
+            self.histogram(name, hist_state["bounds"]).merge_state(hist_state)
+
+
+def state_delta(old: "dict | None", new: dict) -> dict:
+    """``new - old`` over two :meth:`MetricsRegistry.export_state` dicts.
+
+    Counters subtract (instruments absent from ``old`` count from zero);
+    gauges carry the new level verbatim (a level has no meaningful delta);
+    histogram bucket counts, count and sum subtract, while min/max come
+    from the new state (a fixed-bucket histogram cannot un-observe — the
+    bounds keep merged quantiles correct regardless).  Instruments whose
+    counts did not change are omitted, so a quiet interval deltas to ``{}``
+    and periodic snapshot events stay small.
+    """
+    old = old or {}
+    old_counters = old.get("counters", {})
+    counters = {
+        name: value - old_counters.get(name, 0.0)
+        for name, value in new.get("counters", {}).items()
+        if value != old_counters.get(name, 0.0)
+    }
+    old_gauges = old.get("gauges", {})
+    gauges = {
+        name: value
+        for name, value in new.get("gauges", {}).items()
+        if name not in old_gauges or value != old_gauges[name]
+    }
+    histograms: dict[str, dict] = {}
+    old_hists = old.get("histograms", {})
+    for name, state in new.get("histograms", {}).items():
+        prev = old_hists.get(name)
+        if prev is None:
+            if state["count"]:
+                histograms[name] = state
+            continue
+        if state["count"] == prev["count"]:
+            continue
+        histograms[name] = {
+            "bounds": state["bounds"],
+            "bucket_counts": [
+                c - p for c, p in zip(state["bucket_counts"],
+                                      prev["bucket_counts"])
+            ],
+            "count": state["count"] - prev["count"],
+            "sum": state["sum"] - prev["sum"],
+            "min": state["min"],
+            "max": state["max"],
+        }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}

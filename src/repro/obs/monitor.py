@@ -1,0 +1,137 @@
+"""A live ``/metrics`` + ``/healthz`` endpoint on the stdlib HTTP server.
+
+Opt-in observability substrate for a running assay process: while a run is
+in flight, ``GET /metrics`` returns the OpenMetrics rendering of the live
+perf registry (engine/store/vi counters, latency histograms — including
+worker-side metrics merged back by :mod:`repro.obs.propagate`), and
+``GET /healthz`` returns a small JSON liveness document the caller can
+enrich with run state.  This is the surface the planned ``repro.serve``
+job layer will scrape; until then, ``python -m repro monitor`` (or
+``run --monitor-port``) exposes it for any single run.
+
+Implementation notes: a ``ThreadingHTTPServer`` on a daemon thread, so a
+hung scrape can never wedge the scheduler loop, and binding port ``0``
+picks an ephemeral port (tests; parallel runs on one host).  No external
+dependencies — the stdlib server is entirely adequate for a scrape
+endpoint that serves one small text document.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from repro import perf
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.openmetrics import CONTENT_TYPE, render_openmetrics
+
+DEFAULT_PORT = 9178
+
+
+class _MonitorHandler(BaseHTTPRequestHandler):
+    server_version = "repro-monitor/1.0"
+
+    def _respond(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                self._respond(
+                    200, CONTENT_TYPE,
+                    render_openmetrics(self.server.monitor_registry),
+                )
+            elif path == "/healthz":
+                health = self.server.monitor_health
+                document = {"status": "ok"}
+                if health is not None:
+                    document.update(health())
+                self._respond(
+                    200, "application/json; charset=utf-8",
+                    json.dumps(document),
+                )
+            elif path == "/":
+                self._respond(
+                    200, "text/plain; charset=utf-8",
+                    "repro monitor\n\n/metrics  OpenMetrics exposition\n"
+                    "/healthz  JSON liveness\n",
+                )
+            else:
+                self._respond(404, "text/plain; charset=utf-8",
+                              f"not found: {path}\n")
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging (scrapes come every second)."""
+
+
+class MonitorServer:
+    """The opt-in scrape endpoint: start / stop around a run.
+
+    ``registry`` defaults to the live perf registry at scrape time;
+    ``health`` is an optional callable whose dict return is merged into
+    the ``/healthz`` document (run progress, degraded-engine flags, ...).
+    """
+
+    def __init__(
+        self,
+        port: int = DEFAULT_PORT,
+        host: str = "127.0.0.1",
+        registry: "MetricsRegistry | None" = None,
+        health: "Callable[[], dict[str, Any]] | None" = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.registry = registry
+        self.health = health
+        self._server: "ThreadingHTTPServer | None" = None
+        self._thread: "threading.Thread | None" = None
+
+    def start(self) -> int:
+        """Bind and serve on a daemon thread; returns the bound port."""
+        if self._server is not None:
+            raise RuntimeError("monitor server already started")
+        server = ThreadingHTTPServer((self.host, self.port), _MonitorHandler)
+        server.daemon_threads = True
+        # Handler context: resolve the registry lazily so a scrape always
+        # sees the current process-global registry, even after perf.reset.
+        server.monitor_registry = self.registry
+        server.monitor_health = self.health
+        self._server = server
+        self.port = server.server_port
+        self._thread = threading.Thread(
+            target=server.serve_forever, name="repro-monitor", daemon=True
+        )
+        self._thread.start()
+        perf.incr("obs.monitor.started")
+        return self.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MonitorServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

@@ -41,6 +41,14 @@ def summarize_journal(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
       over per-synthesis wall milliseconds;
     * ``stalls`` / ``recoveries`` / ``transport_failures`` /
       ``degradation_crossings`` — event counts;
+    * ``solves`` — where synthesis actually ran: ``{"router", "worker",
+      "worker_pids"}`` (worker-side solves are the ``worker.synthesis``
+      events merged back from pool workers, stamped with their origin
+      pid);
+    * ``telemetry`` — streaming-telemetry activity from the
+      :class:`~repro.obs.pump.TelemetryPump`: ``{"snapshots",
+      "resource_samples", "peak_rss_kb", "workers_alive",
+      "last_metrics"}`` (zeros/None without a pump);
     * ``engine`` — fault-tolerance activity of the synthesis engine:
       ``{"faults": {kind: count}, "rebuilds", "deadline_reaps",
       "degraded", "batch"}`` (all zero/False for a run without a worker
@@ -91,9 +99,15 @@ def summarize_journal(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
         for rec in iter_events(records, "resynthesis")
     ]
 
+    # Synthesis latencies regardless of where the solve ran: router-side
+    # "synthesis" events plus worker-side "worker.synthesis" events merged
+    # back from the pool (batch members carry per-wave batch_ms, not a
+    # per-member ms, and are excluded from the wall distribution).
+    router_events = iter_events(records, "synthesis")
+    worker_events = iter_events(records, "worker.synthesis")
     latencies = sorted(
         float(rec["ms"])
-        for rec in iter_events(records, "synthesis")
+        for rec in router_events + worker_events
         if rec.get("ms") is not None
     )
     synthesis_ms = {
@@ -127,12 +141,45 @@ def summarize_journal(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
         },
     }
 
+    solves = {
+        "router": len(router_events),
+        "worker": len(worker_events),
+        "worker_pids": sorted({
+            rec["worker_pid"]
+            for rec in worker_events
+            if rec.get("worker_pid") is not None
+        }),
+    }
+
+    snapshots = iter_events(records, "telemetry.snapshot")
+    resource_samples = iter_events(records, "telemetry.resources")
+    rss_values = [
+        rec["process"]["rss_kb"]
+        for rec in resource_samples
+        if isinstance(rec.get("process"), dict)
+        and rec["process"].get("rss_kb") is not None
+    ]
+    alive_values = [
+        rec["workers_alive"]
+        for rec in resource_samples
+        if rec.get("workers_alive") is not None
+    ]
+    telemetry = {
+        "snapshots": len(snapshots),
+        "resource_samples": len(resource_samples),
+        "peak_rss_kb": max(rss_values) if rss_values else None,
+        "workers_alive": alive_values[-1] if alive_values else None,
+        "last_metrics": snapshots[-1].get("metrics") if snapshots else None,
+    }
+
     return {
         "events": len(records),
         "runs": runs,
         "mos": mos,
         "resyntheses": resyntheses,
         "synthesis_ms": synthesis_ms,
+        "solves": solves,
+        "telemetry": telemetry,
         "stalls": len(iter_events(records, "droplet.stall")),
         "recoveries": len(iter_events(records, "mo.recovered")),
         "transport_failures": len(iter_events(records, "transport.failure")),
@@ -148,8 +195,26 @@ def _fmt_ms(value: float) -> str:
     return "-" if value is None or math.isnan(value) else f"{value:.2f}"
 
 
+def sanitize_summary(value: Any) -> Any:
+    """A JSON-safe deep copy: NaN / infinity become ``None``.
+
+    ``json.dumps`` would happily emit bare ``NaN`` (invalid JSON that many
+    parsers reject); the ``--json`` report path round-trips through this
+    instead.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {k: sanitize_summary(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_summary(v) for v in value]
+    return value
+
+
 def format_report(summary: dict[str, Any]) -> str:
     """Render a :func:`summarize_journal` summary for the terminal."""
+    if not summary.get("events"):
+        return "journal is empty: no events recorded"
     lines: list[str] = []
     runs = summary["runs"]
     if runs:
@@ -205,11 +270,29 @@ def format_report(summary: dict[str, Any]) -> str:
         f"p90={_fmt_ms(s['p90'])}ms p99={_fmt_ms(s['p99'])}ms "
         f"mean={_fmt_ms(s['mean'])}ms max={_fmt_ms(s['max'])}ms"
     )
+    solves = summary.get("solves") or {}
+    if solves.get("worker"):
+        pids = solves.get("worker_pids") or []
+        lines.append(
+            f"solves: router={solves.get('router', 0)} "
+            f"worker={solves['worker']} "
+            f"across {len(pids)} worker process(es)"
+        )
     lines.append(
         f"stalls={summary['stalls']} recoveries={summary['recoveries']} "
         f"transport failures={summary['transport_failures']} "
         f"degradation crossings={summary['degradation_crossings']} cells"
     )
+    telemetry = summary.get("telemetry") or {}
+    if telemetry.get("snapshots") or telemetry.get("resource_samples"):
+        peak = telemetry.get("peak_rss_kb")
+        alive = telemetry.get("workers_alive")
+        lines.append(
+            f"telemetry: {telemetry.get('snapshots', 0)} snapshot(s), "
+            f"{telemetry.get('resource_samples', 0)} resource sample(s)"
+            + (f", peak rss {peak / 1024:.1f} MiB" if peak else "")
+            + (f", workers alive {alive}" if alive is not None else "")
+        )
     engine = summary.get("engine") or {}
     batch = engine.get("batch") or {}
     if batch.get("waves"):

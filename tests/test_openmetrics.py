@@ -1,0 +1,162 @@
+"""Tests for the OpenMetrics renderer and the /metrics monitor server."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs, perf
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitor import MonitorServer
+from repro.obs.openmetrics import (
+    CONTENT_TYPE,
+    metric_name,
+    parse_openmetrics,
+    render_openmetrics,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.shutdown()
+    perf.reset()
+    yield
+    obs.shutdown()
+    perf.reset()
+
+
+class TestMetricName:
+    def test_dotted_name_sanitizes(self):
+        assert metric_name("engine.prefetch.hits") == \
+            "repro_engine_prefetch_hits"
+
+    def test_leading_digit_prefixed(self):
+        assert metric_name("9lives", prefix="") == "_9lives"
+
+    def test_custom_prefix(self):
+        assert metric_name("a.b", prefix="x") == "x_a_b"
+
+
+class TestRender:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.incr("engine.hits", 7)
+        reg.set_gauge("pool.workers", 2.0)
+        text = render_openmetrics(reg)
+        assert "# TYPE repro_engine_hits counter" in text
+        assert "repro_engine_hits_total 7" in text
+        assert "# TYPE repro_pool_workers gauge" in text
+        assert "repro_pool_workers 2" in text
+        assert text.endswith("# EOF\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        for v in (0.5, 0.6, 5.0, 5000.0):
+            reg.observe("lat_ms", v)
+        text = render_openmetrics(reg)
+        samples = parse_openmetrics(text)
+        buckets = sorted(
+            (float(k.split('le="')[1].rstrip('"}')), v)
+            for k, v in samples.items()
+            if k.startswith("repro_lat_ms_bucket") and "+Inf" not in k
+        )
+        counts = [v for _, v in buckets]
+        assert counts == sorted(counts)  # cumulative: non-decreasing
+        by_bound = dict(buckets)
+        assert by_bound[0.5] == 1   # le is inclusive
+        assert by_bound[1.0] == 2
+        assert by_bound[5.0] == 3
+        assert samples['repro_lat_ms_bucket{le="+Inf"}'] == 4
+        assert samples["repro_lat_ms_count"] == 4
+        assert samples["repro_lat_ms_sum"] == pytest.approx(5006.1)
+
+    def test_defaults_to_perf_registry(self):
+        perf.incr("global.counter", 3)
+        samples = parse_openmetrics(render_openmetrics())
+        assert samples["repro_global_counter_total"] == 3
+
+    def test_empty_registry_is_just_eof(self):
+        assert render_openmetrics(MetricsRegistry()) == "# EOF\n"
+
+
+class TestParse:
+    def test_rejects_missing_eof(self):
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics("repro_x_total 1\n")
+
+    def test_rejects_garbage_line(self):
+        with pytest.raises(ValueError, match="not an OpenMetrics sample"):
+            parse_openmetrics("!!! not metrics\n# EOF\n")
+
+    def test_accepts_comments_and_labels(self):
+        samples = parse_openmetrics(
+            '# TYPE x counter\nx_total 2\nh_bucket{le="1"} 5\n# EOF\n'
+        )
+        assert samples == {"x_total": 2.0, 'h_bucket{le="1"}': 5.0}
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+class TestMonitorServer:
+    def test_metrics_and_healthz_endpoints(self):
+        reg = MetricsRegistry()
+        reg.incr("engine.hits", 4)
+        server = MonitorServer(
+            port=0, registry=reg, health=lambda: {"cycle": 12},
+        )
+        try:
+            port = server.start()
+            assert port != 0
+            assert server.url == f"http://127.0.0.1:{port}"
+
+            status, headers, body = _get(f"{server.url}/metrics")
+            assert status == 200
+            assert headers["Content-Type"] == CONTENT_TYPE
+            samples = parse_openmetrics(body)
+            assert samples["repro_engine_hits_total"] == 4
+
+            status, headers, body = _get(f"{server.url}/healthz")
+            assert status == 200
+            assert "application/json" in headers["Content-Type"]
+            assert json.loads(body) == {"status": "ok", "cycle": 12}
+
+            status, _, body = _get(f"{server.url}/")
+            assert status == 200 and "/metrics" in body
+        finally:
+            server.stop()
+
+    def test_scrapes_live_perf_registry_when_unbound(self):
+        server = MonitorServer(port=0)
+        try:
+            server.start()
+            perf.incr("live.counter", 9)
+            _, _, body = _get(f"{server.url}/metrics")
+            assert parse_openmetrics(body)["repro_live_counter_total"] == 9
+        finally:
+            server.stop()
+
+    def test_unknown_path_404(self):
+        with MonitorServer(port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{server.url}/nope")
+            assert excinfo.value.code == 404
+
+    def test_stop_releases_port_and_double_start_raises(self):
+        server = MonitorServer(port=0)
+        port = server.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            server.start()
+        server.stop()
+        server.stop()  # idempotent
+        # the port is free again: a fresh server can bind it
+        rebound = MonitorServer(port=port)
+        try:
+            assert rebound.start() == port
+        finally:
+            rebound.stop()

@@ -1,0 +1,142 @@
+"""Tests for declarative SLO parsing, evaluation, and error budgets."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.slo import (
+    SloSpec,
+    SloTracker,
+    evaluate,
+    format_results,
+    parse_slo,
+)
+
+
+class TestParse:
+    def test_stat_form(self):
+        spec = parse_slo("p99(synthesis.total_ms) < 50")
+        assert spec == SloSpec(metric="synthesis.total_ms", op="<",
+                               threshold=50.0, stat="p99", target=1.0)
+        assert spec.key == "synthesis.total_ms.p99"
+        assert str(spec) == "p99(synthesis.total_ms) < 50"
+
+    def test_bare_form(self):
+        spec = parse_slo("completion_probability == 1.0")
+        assert spec.metric == "completion_probability"
+        assert spec.stat is None
+        assert spec.key == "completion_probability"
+        assert spec.op == "==" and spec.threshold == 1.0
+
+    def test_target_suffix(self):
+        spec = parse_slo("p90(lat_ms) <= 25 @ 0.95")
+        assert spec.target == 0.95
+        assert str(spec) == "p90(lat_ms) <= 25 @ 0.95"
+
+    def test_whitespace_and_scientific_notation(self):
+        spec = parse_slo("  mean( vi.iters )  >=  1e-3  @  0.9  ")
+        assert spec.metric == "vi.iters" and spec.stat == "mean"
+        assert spec.threshold == pytest.approx(1e-3)
+        assert spec.target == 0.9
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "==", "!="])
+    def test_all_operators(self, op):
+        assert parse_slo(f"x {op} 1").op == op
+
+    @pytest.mark.parametrize("bad", [
+        "", "just words", "p99(x)", "x < ", "< 5", "x ~ 5",
+        "x < 5 @ 2.0", "x < 5 @ -0.1", "p99(x y) < 5",
+    ])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError, match="cannot parse SLO"):
+            parse_slo(bad)
+
+    def test_rejects_unknown_stat(self):
+        with pytest.raises(ValueError, match="unknown SLO statistic"):
+            parse_slo("p42(x) < 5")
+
+
+class TestCheck:
+    def test_none_and_nan_never_comply(self):
+        spec = parse_slo("x != 5")
+        assert spec.check(None) is False
+        assert spec.check(math.nan) is False
+        assert spec.check(4.0) is True
+
+    def test_comparison_semantics(self):
+        assert parse_slo("x < 5").check(5.0) is False
+        assert parse_slo("x <= 5").check(5.0) is True
+        assert parse_slo("x == 1").check(1.0) is True
+
+
+class TestEvaluate:
+    def test_mixed_outcomes(self):
+        specs = [parse_slo("hits >= 1"), parse_slo("p99(lat_ms) < 10"),
+                 parse_slo("ghost > 0")]
+        snapshot = {"hits": 3.0, "lat_ms.p99": 25.0}
+        results = evaluate(specs, snapshot)
+        assert [r.ok for r in results] == [True, False, False]
+        assert results[0].value == 3.0 and results[0].reason is None
+        assert results[1].reason == "violated"
+        assert results[2].value is None and results[2].reason == "missing"
+        record = results[2].to_record()
+        assert record["ok"] is False and record["reason"] == "missing"
+        assert record["metric"] == "ghost"
+
+
+class TestTracker:
+    def test_strict_target_binary_budget(self):
+        tracker = SloTracker([parse_slo("x < 10")])
+        tracker.observe({"x": 5.0})
+        tracker.observe({"x": 6.0})
+        assert tracker.ok()
+        (entry,) = tracker.summary()
+        assert entry["windows"] == 2 and entry["violations"] == 0
+        assert entry["budget_remaining"] == 1.0
+        tracker.observe({"x": 50.0})
+        assert not tracker.ok()
+        (entry,) = tracker.summary()
+        assert entry["violations"] == 1
+        assert entry["budget_remaining"] == 0.0
+        assert entry["last_value"] == 50.0
+
+    def test_budgeted_target_burn_math(self):
+        # target 0.9 -> 10% of windows may violate
+        tracker = SloTracker([parse_slo("x < 10 @ 0.9")])
+        for _ in range(19):
+            tracker.observe({"x": 1.0})
+        tracker.observe({"x": 99.0})  # 1/20 violating = 5% burn of 10%
+        (entry,) = tracker.summary()
+        assert entry["compliance"] == pytest.approx(0.95)
+        assert entry["budget_remaining"] == pytest.approx(0.5)
+        assert entry["ok"] is True
+        for _ in range(2):
+            tracker.observe({"x": 99.0})  # 3/22 > 10% allowed
+        (entry,) = tracker.summary()
+        assert entry["budget_remaining"] < 0.0
+        assert entry["ok"] is False and not tracker.ok()
+
+    def test_missing_metric_counts_as_violation(self):
+        tracker = SloTracker([parse_slo("ghost > 0")])
+        tracker.observe({})
+        assert not tracker.ok()
+
+    def test_no_windows_is_ok(self):
+        assert SloTracker([parse_slo("x < 1")]).ok()
+
+
+class TestFormat:
+    def test_one_shot_results(self):
+        specs = [parse_slo("hits >= 1"), parse_slo("ghost > 0")]
+        text = format_results(evaluate(specs, {"hits": 2.0}))
+        assert "ok " in text and "hits >= 1" in text and "[observed 2]" in text
+        assert "VIOLATED" in text and "(missing)" in text
+
+    def test_tracker_summary(self):
+        tracker = SloTracker([parse_slo("x < 10 @ 0.9")])
+        tracker.observe({"x": 99.0})
+        text = format_results(tracker.summary())
+        assert "1/1 windows violated" in text
+        assert "budget remaining" in text
