@@ -345,12 +345,17 @@ def run_bench(workers: int) -> dict:
     configs["serial"] = run_config(
         graphs, repeats, lambda: None, presynth=False, prefetch=False
     )
+    # admission_floor matches the CLI/serve engines: a lone assay on a
+    # single-core host skips speculation it cannot overlap, so the pooled
+    # configs can never lose to serial by paying for useless IPC.
     configs["pooled"] = run_config(
-        graphs, repeats, lambda: SynthesisEngine(workers=workers),
+        graphs, repeats,
+        lambda: SynthesisEngine(workers=workers, admission_floor=True),
         presynth=True, prefetch=False,
     )
     configs["pooled_prefetch"] = run_config(
-        graphs, repeats, lambda: SynthesisEngine(workers=workers),
+        graphs, repeats,
+        lambda: SynthesisEngine(workers=workers, admission_floor=True),
         presynth=True, prefetch=True,
     )
 
@@ -359,7 +364,8 @@ def run_bench(workers: int) -> dict:
 
         def warm_engine() -> SynthesisEngine:
             return SynthesisEngine(
-                workers=workers, store=StrategyStore(store_path)
+                workers=workers, store=StrategyStore(store_path),
+                admission_floor=True,
             )
 
         # Priming pass fills the store; only the second (fully warm) pass
@@ -445,6 +451,17 @@ def main(argv=None) -> int:
 
     cores = report["cores"] or 1
     failed = []
+    # Soft regression guard (never enforced): with the admission floor the
+    # pooled config must be roughly serial-speed even on one core — a
+    # clear loss means speculation is being admitted with nothing to
+    # overlap it.
+    if report["speedup_pooled"] < 0.90:
+        print(
+            f"WARN: pooled speedup {report['speedup_pooled']:.2f}x < 0.90x "
+            f"— single-assay pooled regression (admission floor "
+            f"ineffective?)",
+            file=sys.stderr,
+        )
     if cores >= 4 and report["speedup_pooled_prefetch"] < 1.5:
         failed.append(
             f"pooled+prefetch speedup "

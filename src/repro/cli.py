@@ -106,6 +106,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         engine = SynthesisEngine(
             workers=args.workers, store=store, prefetch=args.prefetch,
             retries=args.engine_retries, deadline_ms=args.engine_deadline_ms,
+            admission_floor=True,
         )
     if args.router == "adaptive":
         router = AdaptiveRouter(engine=engine)
@@ -341,6 +342,94 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.serve import ServeService
+
+    service = ServeService(
+        port=args.port,
+        host=args.host,
+        serve_workers=args.serve_workers,
+        engine_workers=args.workers,
+        store_path=args.strategy_cache,
+        prefetch=args.prefetch,
+        drain_deadline_s=args.drain_deadline,
+        journal_path=args.journal,
+        engine_retries=args.engine_retries,
+        engine_deadline_ms=args.engine_deadline_ms,
+    )
+    try:
+        port = service.start()
+    except OSError as exc:
+        print(f"cannot start serve endpoint: {exc}", file=sys.stderr)
+        return 2
+    print(f"serving on {service.url} "
+          f"(POST /jobs, GET /jobs/<id>[/events], /metrics, /healthz)")
+    print(f"serve workers={args.serve_workers} engine workers={args.workers} "
+          f"store={'on' if service.engine.store is not None else 'off'}")
+
+    stop = threading.Event()
+
+    def _signalled(signum: int, _frame: object) -> None:
+        print(f"\nreceived {signal.Signals(signum).name}; draining "
+              f"(deadline {args.drain_deadline:.0f}s)", file=sys.stderr)
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _signalled)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    try:
+        while not stop.wait(0.2):
+            pass
+        summary = service.drain()
+        pairs = ", ".join(f"{k}={v}" for k, v in summary.items())
+        print(f"drained: {pairs}")
+        return 0 if summary.get("settled") else 3
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        _ = port
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient, ServeError
+    from repro.serve.job import AssaySpec
+
+    client = ServeClient(args.url, timeout=args.timeout)
+    spec = AssaySpec(
+        bioassay=args.bioassay, width=args.width, height=args.height,
+        seed=args.seed, max_cycles=args.max_cycles,
+        tau_min=args.tau_min, tau_max=args.tau_max,
+        c_min=args.c_min, c_max=args.c_max, priority=args.priority,
+    )
+    try:
+        job_id = client.submit(spec)
+    except (ServeError, OSError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"submitted {job_id} ({spec.bioassay}, seed {spec.seed})")
+    if not args.wait:
+        return 0
+    try:
+        document = client.wait(job_id, timeout=args.timeout)
+    except (ServeError, OSError, TimeoutError) as exc:
+        print(f"wait failed: {exc}", file=sys.stderr)
+        return 2
+    state = document["state"]
+    result = document.get("result") or {}
+    if state == "done":
+        print(f"{job_id}: done cycles={result.get('cycles')} "
+              f"replans={result.get('resyntheses')} "
+              f"run_ms={document.get('run_ms')}")
+        return 0 if result.get("success") else 1
+    print(f"{job_id}: {state} {document.get('error', '')}".rstrip(),
+          file=sys.stderr)
+    return 1
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
     from repro.analysis.render import render_route
     from repro.core.routing_job import RoutingJob, zone
@@ -535,6 +624,62 @@ def build_parser() -> argparse.ArgumentParser:
                           "telemetry snapshot and derived run values; "
                           "violations exit 4 (repeatable)")
     rep.set_defaults(func=_cmd_report)
+
+    srv = sub.add_parser(
+        "serve",
+        help="resident multi-assay server: shared engine + store, "
+             "HTTP job API",
+    )
+    srv.add_argument("--port", type=int, default=DEFAULT_PORT,
+                     help="HTTP port for the job API + /metrics "
+                          "(0 = ephemeral)")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--serve-workers", type=int, default=2, metavar="N",
+                     help="concurrent assay worker threads (default 2)")
+    srv.add_argument("--workers", type=_workers_arg, default=1,
+                     help="shared synthesis engine worker processes "
+                          "(1 = synchronous, 0 = one per core)")
+    srv.add_argument("--prefetch", action=argparse.BooleanOptionalAction,
+                     default=True,
+                     help="speculative prefetch on the shared engine")
+    srv.add_argument("--strategy-cache", metavar="PATH", nargs="?",
+                     const="auto", default=None,
+                     help="shared persistent strategy store; with no PATH, "
+                          "uses the default cache location")
+    srv.add_argument("--engine-retries", type=int, default=2, metavar="N")
+    srv.add_argument("--engine-deadline-ms", type=float, default=None,
+                     metavar="MS")
+    srv.add_argument("--drain-deadline", type=float, default=30.0,
+                     metavar="S",
+                     help="seconds SIGTERM/SIGINT waits for queued + "
+                          "in-flight jobs before cancelling the backlog")
+    srv.add_argument("--journal", metavar="PATH", default=None,
+                     help="tee every journal record (all jobs, "
+                          "job_id-tagged) to this JSONL file")
+    srv.set_defaults(func=_cmd_serve)
+
+    subm = sub.add_parser(
+        "submit", help="submit one assay job to a running `repro serve`"
+    )
+    subm.add_argument("--url", default=f"http://127.0.0.1:{DEFAULT_PORT}",
+                      help="serve endpoint base URL")
+    subm.add_argument("--bioassay", default="covid-rat")
+    subm.add_argument("--width", type=int, default=60)
+    subm.add_argument("--height", type=int, default=30)
+    subm.add_argument("--seed", type=int, default=0)
+    subm.add_argument("--max-cycles", type=int, default=800)
+    subm.add_argument("--tau-min", type=float, default=0.5)
+    subm.add_argument("--tau-max", type=float, default=0.9)
+    subm.add_argument("--c-min", type=float, default=200.0)
+    subm.add_argument("--c-max", type=float, default=500.0)
+    subm.add_argument("--priority", type=int, default=0,
+                      help="higher runs sooner (default 0)")
+    subm.add_argument("--wait", action="store_true",
+                      help="poll until the job finishes; exit 1 on failure")
+    subm.add_argument("--timeout", type=float, default=600.0, metavar="S",
+                      help="submit/wait HTTP timeout (default 600)")
+    subm.set_defaults(func=_cmd_submit)
 
     synth = sub.add_parser("synth", help="synthesize one routing job")
     synth.add_argument("--start", type=int, nargs=2, default=(3, 3),

@@ -9,7 +9,7 @@ fault-injection harness.
 
 from repro.engine.chaos import ChaosConfig, ChaosInjectedError, ChaosInjector
 from repro.engine.faults import FaultKind, RetryPolicy, classify_failure
-from repro.engine.pool import SynthesisEngine, resolve_workers
+from repro.engine.pool import SynthesisEngine, TenantView, resolve_workers
 from repro.engine.store import StrategyStore, default_store_path
 
 __all__ = [
@@ -20,6 +20,7 @@ __all__ = [
     "RetryPolicy",
     "SynthesisEngine",
     "StrategyStore",
+    "TenantView",
     "classify_failure",
     "default_store_path",
     "resolve_workers",

@@ -41,11 +41,26 @@ to a no-pool run.
 The engine also fronts the persistent :class:`~repro.engine.store.StrategyStore`
 (``store_get``/``store_put``) so the router has a single speculation façade.
 Counters: ``engine.prefetch.{submitted,hits,misses,stale,wasted,rejected,
-deadline}``, ``engine.errors``, ``engine.fault.{pool,transient,payload}``,
-``engine.rebuilds``, ``engine.retries``, ``engine.degraded``,
-``engine.batch.submitted``; spans: ``engine.submit`` / ``engine.wait`` /
-``engine.batch.submit`` (the batched presynthesis wave, also journaled as
-an ``engine.batch.submit`` event).
+deadline,floor}``, ``engine.fairshare.rejected``, ``engine.errors``,
+``engine.fault.{pool,transient,payload}``, ``engine.rebuilds``,
+``engine.retries``, ``engine.degraded``, ``engine.batch.submitted``; the
+``engine.speculation.wasted_ratio`` gauge tracks wasted/submitted; spans:
+``engine.submit`` / ``engine.wait`` / ``engine.batch.submit`` (the batched
+presynthesis wave, also journaled as an ``engine.batch.submit`` event).
+
+**Multi-tenancy** (:class:`TenantView`): one engine (and its store) can be
+shared by N concurrent assays.  Every speculation is namespaced by a
+tenant name, so assays can never consume — or block resubmission of —
+each other's speculations; the engine itself is thread-safe (one lock
+around the speculation state).  Fair-share admission splits
+``max_inflight`` equally across registered tenants, so one assay's
+speculative prefetch cannot starve another's, and the *admission floor*
+(``admission_floor=True``) skips speculative submission entirely when a
+single tenant runs on a single-core host — speculation there has nothing
+to overlap with and only adds IPC cost (the ``BENCH_parallel`` quick-scale
+regression).  The store façade is deliberately tenant-agnostic: store
+entries are keyed by (job, health fingerprint) alone, which is exactly
+what makes cross-assay amortization sound.
 
 **Telemetry propagation** (:mod:`repro.obs.propagate`): when the parent
 has any telemetry configured, submissions carry a capture config, workers
@@ -60,6 +75,7 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 from collections import deque
 from concurrent.futures import CancelledError, Future, ProcessPoolExecutor
@@ -98,13 +114,21 @@ from repro.engine.payload import (
 from repro.engine.store import StrategyStore
 from repro.modelcheck.properties import Query
 
-_EngineKey = tuple[tuple[int, ...], bytes]
+#: ``(tenant, job key, health fingerprint)`` — the identity of one
+#: speculation.  The tenant is ``""`` for single-assay use (the CLI, the
+#: benches), which keeps keys, chaos tokens and counters byte-identical to
+#: the pre-tenancy engine.
+_EngineKey = tuple[str, tuple[int, ...], bytes]
 
 
 def _chaos_token(key: _EngineKey, attempt: int) -> str:
     """The deterministic chaos-decision token for one submission attempt."""
-    job_key, fingerprint = key
-    return f"{','.join(map(str, job_key))}|{fingerprint.hex()}|a{attempt}"
+    tenant, job_key, fingerprint = key
+    prefix = f"{tenant}|" if tenant else ""
+    return (
+        f"{prefix}{','.join(map(str, job_key))}|{fingerprint.hex()}"
+        f"|a{attempt}"
+    )
 
 
 def _worker_synthesize(payload: dict) -> dict:
@@ -285,6 +309,18 @@ class SynthesisEngine:
     :class:`~repro.engine.faults.RetryPolicy`); the ``retries`` /
     ``deadline_ms`` / ``rebuild_budget`` keywords are a convenience for the
     common overrides and are ignored when an explicit policy is given.
+
+    ``admission_floor`` — skip speculative submission when there is no
+    concurrent demand (a single tenant) *and* no spare core to overlap
+    with: on a single-core host, single-assay speculation only moves the
+    same work behind an IPC boundary and loses to the synchronous path.
+    Off by default (direct engine tests exercise speculation regardless of
+    host shape); the CLI, the benches and ``repro serve`` turn it on.
+
+    The engine is thread-safe and multi-tenant: :meth:`tenant` registers a
+    named tenant and returns a :class:`TenantView` whose speculations are
+    namespaced to it, with ``max_inflight`` split fairly across registered
+    tenants.
     """
 
     def __init__(
@@ -303,6 +339,7 @@ class SynthesisEngine:
         deadline_ms: float | None = None,
         rebuild_budget: int = 3,
         policy: RetryPolicy | None = None,
+        admission_floor: bool = False,
     ) -> None:
         if max_inflight <= 0:
             raise ValueError("max_inflight must be positive")
@@ -325,8 +362,15 @@ class SynthesisEngine:
             if self.workers > 1
             else None
         )
+        self.admission_floor = admission_floor
+        # One lock around all speculation state: submissions, consumption
+        # and fault handling may come from N assay-worker threads sharing
+        # this engine (repro.serve).  RLock because fault paths re-enter
+        # (take -> _reap -> _rebuild_pool -> _resubmit_inflight).
+        self._lock = threading.RLock()
+        self._tenants: set[str] = set()
         self._pending: dict[_EngineKey, _Speculation] = {}
-        self._by_job: dict[tuple[int, ...], _EngineKey] = {}
+        self._by_job: dict[tuple[str, tuple[int, ...]], _EngineKey] = {}
         # Discarded speculations whose worker task was still running: their
         # telemetry bundles (worker.solve spans, metric deltas) are salvaged
         # once the future completes, so the trace shows the wasted worker
@@ -346,6 +390,8 @@ class SynthesisEngine:
         self.rebuilds = 0
         self.retried = 0
         self.deadline_reaps = 0
+        self.fair_rejected = 0
+        self.floor_skips = 0
         self.faults: dict[str, int] = {}
 
     # -- lifecycle -----------------------------------------------------------
@@ -357,14 +403,86 @@ class SynthesisEngine:
 
     def close(self) -> None:
         """Shut the pool down; unconsumed speculations count as wasted."""
-        self._closed = True
-        self._drop_all_speculations()
-        self._drain_zombies(final=True)
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
+        with self._lock:
+            self._closed = True
+            self._drop_all_speculations()
+            self._drain_zombies(final=True)
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
         if self.store is not None:
             self.store.close()
+
+    # -- multi-tenancy -------------------------------------------------------
+
+    def tenant(self, name: str) -> "TenantView":
+        """Register a named tenant and return its engine façade.
+
+        The view namespaces every speculation under ``name`` and shares
+        the store; registering also raises the engine's *demand* (the
+        admission floor lifts, fair shares shrink).  Release with
+        :meth:`TenantView.close` when the assay finishes.
+        """
+        if not name:
+            raise ValueError("tenant name must be non-empty")
+        with self._lock:
+            self._tenants.add(name)
+        return TenantView(self, name)
+
+    def release_tenant(self, name: str) -> None:
+        """Deregister a tenant, discarding its in-flight speculations."""
+        with self._lock:
+            self._tenants.discard(name)
+            for key in [k for k in self._pending if k[0] == name]:
+                self._discard(key)
+            self._no_plan = {k for k in self._no_plan if k[0] != name}
+
+    def _tenant_share(self) -> int:
+        """Per-tenant in-flight cap: an equal split of ``max_inflight``."""
+        active = len(self._tenants)
+        if active <= 1:
+            return self.max_inflight
+        return max(1, self.max_inflight // active)
+
+    def _admit(self, tenant: str, extra: int = 0) -> bool:
+        """Fair-share admission of one more speculative submission.
+
+        ``extra`` counts submissions the caller has already accepted in
+        the same wave (batched presynthesis admits incrementally).
+        """
+        if len(self._pending) + extra >= self.max_inflight:
+            perf.incr("engine.prefetch.rejected")
+            return False
+        held = sum(1 for key in self._pending if key[0] == tenant) + extra
+        if held >= self._tenant_share():
+            self.fair_rejected += 1
+            perf.incr("engine.prefetch.rejected")
+            perf.incr("engine.fairshare.rejected")
+            return False
+        return True
+
+    def _speculation_admitted(self) -> bool:
+        """The admission floor: is there anything for speculation to overlap?
+
+        With more than one registered tenant, speculation overlaps another
+        assay's critical path; with a spare core it overlaps this assay's
+        own planning thread.  A single tenant on a single core has
+        neither — submitting would only move the same synthesis behind an
+        IPC boundary.
+        """
+        if not self.admission_floor:
+            return True
+        if len(self._tenants) > 1:
+            return True
+        if (os.cpu_count() or 1) > 1:
+            return True
+        self.floor_skips += 1
+        perf.incr("engine.prefetch.floor")
+        return False
+
+    def _gauge_wasted(self) -> None:
+        ratio = self.wasted / self.submitted if self.submitted else 0.0
+        perf.set_gauge("engine.speculation.wasted_ratio", round(ratio, 6))
 
     def __enter__(self) -> "SynthesisEngine":
         return self
@@ -438,6 +556,7 @@ class SynthesisEngine:
             self._note_unconsumed(spec)
         self._pending.clear()
         self._by_job.clear()
+        self._gauge_wasted()
 
     # -- wasted-work telemetry salvage ---------------------------------------
 
@@ -528,7 +647,7 @@ class SynthesisEngine:
         survivors: dict[_EngineKey, _Speculation] = {}
         for key, spec in self._pending.items():
             if spec.attempts > self.policy.retries:
-                self._by_job.pop(key[0], None)
+                self._by_job.pop(key[:2], None)
                 self.wasted += 1
                 perf.incr("engine.prefetch.wasted")
                 continue
@@ -538,7 +657,7 @@ class SynthesisEngine:
             try:
                 future = self._executor.submit(_worker_synthesize, payload)
             except (BrokenProcessPool, RuntimeError):
-                self._by_job.pop(key[0], None)
+                self._by_job.pop(key[:2], None)
                 self.wasted += 1
                 perf.incr("engine.prefetch.wasted")
                 continue
@@ -548,11 +667,12 @@ class SynthesisEngine:
                 future, spec.payload, time.monotonic(), attempts
             )
         self._pending = survivors
+        self._gauge_wasted()
 
     def _reap(self, key: _EngineKey, spec: _Speculation) -> None:
         """Evict one overdue speculation; a hung worker forces a rebuild."""
         self._pending.pop(key, None)
-        self._by_job.pop(key[0], None)
+        self._by_job.pop(key[:2], None)
         # No Future.cancel() here (see _drop_all_speculations); a queued
         # overdue item simply runs to waste, a *running* one is hung.
         hung = spec.future.running()
@@ -560,10 +680,11 @@ class SynthesisEngine:
         self.wasted += 1
         perf.incr("engine.prefetch.deadline")
         perf.incr("engine.prefetch.wasted")
+        self._gauge_wasted()
         self._note_unconsumed(spec)
         obs.journal_event(
             "engine.deadline",
-            job=key[0],
+            job=key[1],
             deadline_ms=self.policy.deadline_ms,
             attempts=spec.attempts,
             hung=hung,
@@ -602,30 +723,43 @@ class SynthesisEngine:
         job: RoutingJob,
         health: np.ndarray,
         warm_values: dict | None = None,
+        tenant: str = "",
     ) -> bool:
         """Speculatively synthesize ``(job, health)`` on the pool.
 
-        At most one speculation per job key is in flight at a time, and the
-        total in-flight count is bounded by ``max_inflight``; rejected
-        submissions return ``False`` (the caller loses nothing — the job
-        will fall back to synchronous synthesis).  Submission never raises:
-        a broken or closed pool is counted, the pool is rebuilt when the
-        budget allows, and ``False`` is returned — the scheduler loop must
+        At most one speculation per (tenant, job key) is in flight at a
+        time, and the total in-flight count is bounded by ``max_inflight``
+        split fairly across registered tenants; rejected submissions
+        return ``False`` (the caller loses nothing — the job will fall
+        back to synchronous synthesis).  Submission never raises: a broken
+        or closed pool is counted, the pool is rebuilt when the budget
+        allows, and ``False`` is returned — the scheduler loop must
         survive any engine state.
         """
+        with self._lock:
+            return self._submit(job, health, warm_values, tenant)
+
+    def _submit(
+        self,
+        job: RoutingJob,
+        health: np.ndarray,
+        warm_values: dict | None,
+        tenant: str,
+    ) -> bool:
         if self._executor is None or self.degraded or self._closed:
+            return False
+        if not self._speculation_admitted():
             return False
         self._reap_overdue()
         if self._executor is None:  # a hung-worker reap may have degraded us
             return False
         job_key = job.key()
-        if job_key in self._by_job:
+        if (tenant, job_key) in self._by_job:
             return False
-        if len(self._pending) >= self.max_inflight:
-            perf.incr("engine.prefetch.rejected")
+        if not self._admit(tenant):
             return False
         fingerprint = health_fingerprint(health, job.hazard)
-        key = (job_key, fingerprint)
+        key = (tenant, job_key, fingerprint)
         if key in self._no_plan:
             return False
         forces = force_field_from_health(
@@ -667,7 +801,7 @@ class SynthesisEngine:
             future, payload, time.monotonic(),
             span_id=getattr(submit_span, "span_id", None),
         )
-        self._by_job[job_key] = key
+        self._by_job[(tenant, job_key)] = key
         self.submitted += 1
         perf.incr("engine.prefetch.submitted")
         return True
@@ -676,27 +810,42 @@ class SynthesisEngine:
         self,
         items: "list[tuple[RoutingJob, dict | None]]",
         health: np.ndarray,
+        tenant: str = "",
     ) -> int:
         """Speculatively synthesize a wave of jobs as one batched task.
 
         ``items`` pairs each routing job with its warm-start values (or
         ``None``).  All members share the sensed ``health``; jobs already
         in flight, already answered ``no-plan`` for this fingerprint, or
-        past the in-flight budget are skipped.  The accepted members ship
-        as a *single* pool task running the batched solver core — the
-        worker shares graph precompute across same-shape members instead
-        of re-deriving it per job — and each member is tracked as its own
-        speculation, so :meth:`take` semantics (hit / stale / pending /
-        error / deadline) are exactly those of per-job submission.  On a
-        pool failure mid-flight, members retry as independent solo tasks.
+        past the in-flight budget (this tenant's fair share of it) are
+        skipped.  The accepted members ship as a *single* pool task
+        running the batched solver core — the worker shares graph
+        precompute across same-shape members instead of re-deriving it per
+        job — and each member is tracked as its own speculation, so
+        :meth:`take` semantics (hit / stale / pending / error / deadline)
+        are exactly those of per-job submission.  On a pool failure
+        mid-flight, members retry as independent solo tasks.
 
         Without a pool (``workers=1`` or a degraded engine) the batch is
         solved synchronously in-process through the same batched kernel
         and parked as completed speculations — presynthesis still works,
-        it just blocks the caller for the solve.  Returns the number of
-        jobs accepted.
+        it just blocks the caller for the solve.  The admission floor only
+        applies to the *pooled* path: the in-process batch is a synchronous
+        computation the caller asked for, not speculation competing for a
+        core.  Returns the number of jobs accepted.
         """
+        with self._lock:
+            return self._presynthesize_batch(items, health, tenant)
+
+    def _presynthesize_batch(
+        self,
+        items: "list[tuple[RoutingJob, dict | None]]",
+        health: np.ndarray,
+        tenant: str,
+    ) -> int:
         if self._closed or not items:
+            return 0
+        if self._executor is not None and not self._speculation_admitted():
             return 0
         self._reap_overdue()
         forces = force_field_from_health(
@@ -708,16 +857,14 @@ class SynthesisEngine:
         accepted: "list[tuple[_EngineKey, dict]]" = []
         for job, warm_values in items:
             job_key = job.key()
-            if job_key in self._by_job:
+            if (tenant, job_key) in self._by_job:
                 continue
-            key = (job_key, health_fingerprint(health, job.hazard))
+            key = (tenant, job_key, health_fingerprint(health, job.hazard))
             if key in self._no_plan:
                 continue
-            if (
-                self._executor is not None
-                and len(self._pending) + len(accepted) >= self.max_inflight
+            if self._executor is not None and not self._admit(
+                tenant, extra=len(accepted)
             ):
-                perf.incr("engine.prefetch.rejected")
                 continue
             solo = {
                 "job": job_to_payload(job),
@@ -733,7 +880,7 @@ class SynthesisEngine:
             # Solo payloads carry their own capture config so a retry
             # after a pool rebuild (which resubmits members as independent
             # tasks) still propagates telemetry.
-            telemetry = capture_config(corr=correlation_id(key[0], key[1]))
+            telemetry = capture_config(corr=correlation_id(key[1], key[2]))
             if telemetry is not None:
                 solo["telemetry"] = telemetry
             accepted.append((key, solo))
@@ -751,11 +898,11 @@ class SynthesisEngine:
             "max_aspect": self.max_aspect,
             "epsilon": self.epsilon,
             "chaos_token": (
-                f"batch|{accepted[0][0][1].hex()}|n{len(accepted)}"
+                f"batch|{accepted[0][0][2].hex()}|n{len(accepted)}"
             ),
         }
         telemetry = capture_config(
-            corr=f"batch@{accepted[0][0][1].hex()[:12]}*{len(accepted)}"
+            corr=f"batch@{accepted[0][0][2].hex()[:12]}*{len(accepted)}"
         )
         if telemetry is not None:
             batch_payload["telemetry"] = telemetry
@@ -779,7 +926,7 @@ class SynthesisEngine:
             self._pending[key] = _Speculation(
                 future, solo, now, index=index, span_id=batch_span_id
             )
-            self._by_job[key[0]] = key
+            self._by_job[key[:2]] = key
         self.submitted += len(accepted)
         perf.incr("engine.prefetch.submitted", len(accepted))
         perf.incr("engine.batch.submitted")
@@ -830,7 +977,7 @@ class SynthesisEngine:
             future: Future = Future()
             future.set_result(_result_payload(job, result))
             self._pending[key] = _Speculation(future, solo, now)
-            self._by_job[key[0]] = key
+            self._by_job[key[:2]] = key
         self.submitted += len(accepted)
         perf.incr("engine.prefetch.submitted", len(accepted))
         perf.incr("engine.batch.submitted")
@@ -840,7 +987,7 @@ class SynthesisEngine:
         return len(accepted)
 
     def take(
-        self, job: RoutingJob, health: np.ndarray
+        self, job: RoutingJob, health: np.ndarray, tenant: str = ""
     ) -> tuple[str, RoutingStrategy | None]:
         """Consume a speculation for exactly ``(job, health)``.
 
@@ -866,14 +1013,20 @@ class SynthesisEngine:
           (pool / transient / payload), a broken pool is rebuilt within
           budget, and the caller falls back to synchronous synthesis.
         """
+        with self._lock:
+            return self._take(job, health, tenant)
+
+    def _take(
+        self, job: RoutingJob, health: np.ndarray, tenant: str
+    ) -> tuple[str, RoutingStrategy | None]:
         job_key = job.key()
         self._drain_zombies()
-        self._reap_overdue(exclude=self._by_job.get(job_key))
-        inflight = self._by_job.get(job_key)
+        self._reap_overdue(exclude=self._by_job.get((tenant, job_key)))
+        inflight = self._by_job.get((tenant, job_key))
         if inflight is None:
             return ("absent", None)
         fingerprint = health_fingerprint(health, job.hazard)
-        if inflight != (job_key, fingerprint):
+        if inflight != (tenant, job_key, fingerprint):
             self._discard(inflight)
             self.stale += 1
             perf.incr("engine.prefetch.stale")
@@ -897,7 +1050,7 @@ class SynthesisEngine:
             self._discard(inflight)
             return ("pending", None)
         self._pending.pop(inflight, None)
-        self._by_job.pop(job_key, None)
+        self._by_job.pop((tenant, job_key), None)
         with obs.span("engine.wait", job=job_key):
             try:
                 payload = spec.future.result()
@@ -926,10 +1079,11 @@ class SynthesisEngine:
 
     def _discard(self, key: _EngineKey) -> None:
         spec = self._pending.pop(key, None)
-        self._by_job.pop(key[0], None)
+        self._by_job.pop(key[:2], None)
         if spec is not None:  # abandoned, not cancelled — see _drop_all
             self.wasted += 1
             perf.incr("engine.prefetch.wasted")
+            self._gauge_wasted()
             self._note_unconsumed(spec)
 
     def worker_pids(self) -> list[int]:
@@ -960,21 +1114,114 @@ class SynthesisEngine:
     # -- stats ---------------------------------------------------------------
 
     def counters(self) -> dict[str, int]:
-        out = {
-            "submitted": self.submitted,
-            "hits": self.hits,
-            "misses": self.misses,
-            "stale": self.stale,
-            "wasted": self.wasted,
-            "errors": self.errors,
-            "rebuilds": self.rebuilds,
-            "retries": self.retried,
-            "deadline_reaps": self.deadline_reaps,
-            "degraded": int(self.degraded),
-            "inflight": len(self._pending),
-        }
-        for kind, count in self.faults.items():
-            out[f"fault_{kind}"] = count
+        with self._lock:
+            self._gauge_wasted()
+            out = {
+                "submitted": self.submitted,
+                "hits": self.hits,
+                "misses": self.misses,
+                "stale": self.stale,
+                "wasted": self.wasted,
+                "errors": self.errors,
+                "rebuilds": self.rebuilds,
+                "retries": self.retried,
+                "deadline_reaps": self.deadline_reaps,
+                "fair_rejected": self.fair_rejected,
+                "floor_skips": self.floor_skips,
+                "degraded": int(self.degraded),
+                "inflight": len(self._pending),
+                "tenants": len(self._tenants),
+            }
+            for kind, count in self.faults.items():
+                out[f"fault_{kind}"] = count
         if self.store is not None:
             out.update({f"store_{k}": v for k, v in self.store.counters().items()})
         return out
+
+
+class TenantView:
+    """One assay's handle on a shared :class:`SynthesisEngine`.
+
+    Exposes exactly the engine surface the router/scheduler stack consumes
+    (``submit``/``take``/``presynthesize_batch``, the store façade, and the
+    ``pooled``/``degraded``/``rebuilds``/``prefetch_enabled`` attributes),
+    with every speculation namespaced by the tenant name — concurrent
+    assays on one shared engine can never consume, evict, or block each
+    other's speculations, so each assay routes exactly as it would with a
+    private engine.  The store façade is shared deliberately: store entries
+    are keyed by (job, health fingerprint) alone, which is what lets one
+    assay's synthesis warm another's.
+
+    :meth:`close` releases the tenant (its in-flight speculations are
+    discarded and counted wasted) without touching the shared engine.
+    """
+
+    def __init__(self, engine: SynthesisEngine, name: str) -> None:
+        self._engine = engine
+        self.name = name
+
+    @property
+    def pooled(self) -> bool:
+        return self._engine.pooled
+
+    @property
+    def degraded(self) -> bool:
+        return self._engine.degraded
+
+    @property
+    def rebuilds(self) -> int:
+        return self._engine.rebuilds
+
+    @property
+    def prefetch_enabled(self) -> bool:
+        return self._engine.prefetch_enabled
+
+    @property
+    def store(self) -> StrategyStore | None:
+        return self._engine.store
+
+    def submit(
+        self,
+        job: RoutingJob,
+        health: np.ndarray,
+        warm_values: dict | None = None,
+    ) -> bool:
+        return self._engine.submit(
+            job, health, warm_values, tenant=self.name
+        )
+
+    def take(
+        self, job: RoutingJob, health: np.ndarray
+    ) -> tuple[str, RoutingStrategy | None]:
+        return self._engine.take(job, health, tenant=self.name)
+
+    def presynthesize_batch(
+        self,
+        items: "list[tuple[RoutingJob, dict | None]]",
+        health: np.ndarray,
+    ) -> int:
+        return self._engine.presynthesize_batch(
+            items, health, tenant=self.name
+        )
+
+    def store_get(
+        self, job: RoutingJob, health: np.ndarray
+    ) -> RoutingStrategy | None:
+        return self._engine.store_get(job, health)
+
+    def store_put(
+        self, job: RoutingJob, health: np.ndarray, strategy: RoutingStrategy
+    ) -> None:
+        self._engine.store_put(job, health, strategy)
+
+    def counters(self) -> dict[str, int]:
+        return self._engine.counters()
+
+    def close(self) -> None:
+        self._engine.release_tenant(self.name)
+
+    def __enter__(self) -> "TenantView":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -25,6 +25,17 @@ deleted and counted, and any unexpected SQLite failure degrades the store
 to a no-op rather than failing the run.  Hit/miss/stale counts are kept on
 the instance and mirrored into :mod:`repro.perf`
 (``store.{hits,misses,stale,corrupt,evictions,puts}``).
+
+**Concurrency** (the ``repro.serve`` substrate): one store instance may be
+shared by N assay-worker threads.  The connection is opened with
+``check_same_thread=False`` and every SQLite access is serialized by an
+instance lock; the database runs in WAL mode with a ``busy_timeout`` so a
+second *process* pointed at the same file blocks briefly instead of
+erroring.  A process-shared **read-through memo** (an in-memory LRU of
+decoded strategies, ``store.memo.{hits,misses}``) sits in front of SQLite
+so concurrent assays resolving the same (job key, fingerprint) — the
+common case under a mixed serving workload — do not serialize on the
+database at all after the first read.
 """
 
 from __future__ import annotations
@@ -33,7 +44,9 @@ import hashlib
 import json
 import os
 import sqlite3
+import threading
 import time
+from collections import OrderedDict
 from pathlib import Path
 
 import numpy as np
@@ -109,6 +122,14 @@ class StrategyStore:
         self.stale = 0
         self.corrupt = 0
         self.use_after_close = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+        # Instance lock: one store may serve N assay-worker threads
+        # (repro.serve shares a single store across concurrent assays).
+        self._lock = threading.RLock()
+        # Read-through memo: full_key -> decoded strategy, LRU-bounded to
+        # max_entries alongside the database itself.
+        self._memo: "OrderedDict[str, RoutingStrategy]" = OrderedDict()
         self._conn: sqlite3.Connection | None = None
         self._broken = False
         self._closed = False
@@ -133,7 +154,20 @@ class StrategyStore:
                 self._broken = True
 
     def _connect(self) -> sqlite3.Connection:
-        conn = sqlite3.connect(str(self.path))
+        # check_same_thread=False: the instance lock serializes access, so
+        # any of the serving threads may touch the shared connection.
+        conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        try:
+            # WAL lets a concurrent reader proceed under a writer (and
+            # vice versa) when several processes share the file; the busy
+            # timeout turns residual lock contention into a short wait
+            # instead of an immediate SQLITE_BUSY error.  Both are
+            # best-effort: a filesystem that cannot do WAL (some network
+            # mounts) just keeps the default journal.
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA busy_timeout=5000")
+        except sqlite3.Error:
+            pass
         conn.execute(
             "CREATE TABLE IF NOT EXISTS strategies ("
             " full_key TEXT PRIMARY KEY,"
@@ -157,8 +191,10 @@ class StrategyStore:
         return conn
 
     def close(self) -> None:
-        self._closed = True
-        self._shutdown()
+        with self._lock:
+            self._closed = True
+            self._memo.clear()
+            self._shutdown()
 
     def _shutdown(self) -> None:
         if self._conn is not None:
@@ -189,15 +225,16 @@ class StrategyStore:
         self.close()
 
     def __len__(self) -> int:
-        if self._conn is None:
-            return 0
-        try:
-            row = self._conn.execute(
-                "SELECT COUNT(*) FROM strategies"
-            ).fetchone()
-            return int(row[0])
-        except sqlite3.Error:
-            return 0
+        with self._lock:
+            if self._conn is None:
+                return 0
+            try:
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM strategies"
+                ).fetchone()
+                return int(row[0])
+            except sqlite3.Error:
+                return 0
 
     # -- keys ----------------------------------------------------------------
 
@@ -227,10 +264,42 @@ class StrategyStore:
         A row whose job/params match but whose health fingerprint differs is
         counted as *stale* (the zone degraded since it was stored); both
         stale and absent lookups return ``None`` and count as misses.
+
+        The read-through memo is consulted first: a decoded strategy
+        cached by an earlier get/put on this instance is returned without
+        touching SQLite (``store.memo.hits``), so concurrent assays
+        resolving the same key don't serialize on the database.
         """
+        with self._lock:
+            return self._get(job, health)
+
+    def _get(
+        self, job: RoutingJob, health: np.ndarray
+    ) -> RoutingStrategy | None:
         if not self._check_open():
             return None
         full, base = self._keys(job, health)
+        memoized = self._memo.get(full)
+        if memoized is not None:
+            self._memo.move_to_end(full)
+            self.memo_hits += 1
+            self.hits += 1
+            perf.incr("store.memo.hits")
+            perf.incr("store.hits")
+            # Still record the LRU touch (deferred, uncommitted — same as
+            # the disk path) so eviction order matches a memo-less store;
+            # the memo saves the row read and payload decode, not the
+            # bookkeeping.
+            try:
+                self._conn.execute(
+                    "UPDATE strategies SET last_used = ? WHERE full_key = ?",
+                    (time.time(), full),
+                )
+            except sqlite3.Error:
+                self._degrade()
+            return memoized
+        self.memo_misses += 1
+        perf.incr("store.memo.misses")
         try:
             row = self._conn.execute(
                 "SELECT payload FROM strategies WHERE full_key = ?", (full,)
@@ -263,6 +332,7 @@ class StrategyStore:
             return None
         self.hits += 1
         perf.incr("store.hits")
+        self._memo_put(full, strategy)
         # LRU touch without an immediate commit: fsync-per-hit would double
         # the cost of a warm lookup.  The touch is flushed by the next
         # put/eviction commit or by close(); losing one on a crash only
@@ -276,15 +346,28 @@ class StrategyStore:
             self._degrade()
         return strategy
 
+    def _memo_put(self, full_key: str, strategy: RoutingStrategy) -> None:
+        self._memo[full_key] = strategy
+        self._memo.move_to_end(full_key)
+        while len(self._memo) > self.max_entries:
+            self._memo.popitem(last=False)
+
     def put(
         self, job: RoutingJob, health: np.ndarray, strategy: RoutingStrategy
     ) -> None:
         """Store (or refresh) a synthesized strategy; evict past the bound."""
+        with self._lock:
+            self._put(job, health, strategy)
+
+    def _put(
+        self, job: RoutingJob, health: np.ndarray, strategy: RoutingStrategy
+    ) -> None:
         if not self._check_open():
             return
         full, base = self._keys(job, health)
         now = time.time()
-        payload = json.dumps(strategy.to_payload())
+        clean = json.dumps(strategy.to_payload())
+        payload = clean
         injector = chaos.injector()
         if injector is not None:
             # Chaos harness: maybe garble this row before it hits disk, so
@@ -301,6 +384,12 @@ class StrategyStore:
         )
         if ok:
             perf.incr("store.puts")
+            if payload == clean:
+                # Memoize only what actually hit the disk intact: a
+                # chaos-garbled row must still be discovered (and deleted)
+                # by the corruption-tolerance read path, not masked by the
+                # memo.
+                self._memo_put(full, strategy)
             self._evict()
 
     def _evict(self) -> None:
@@ -312,6 +401,11 @@ class StrategyStore:
             ).fetchone()
             excess = int(count) - self.max_entries
             if excess > 0:
+                evicted = self._conn.execute(
+                    "SELECT full_key FROM strategies"
+                    " ORDER BY last_used ASC LIMIT ?",
+                    (excess,),
+                ).fetchall()
                 self._conn.execute(
                     "DELETE FROM strategies WHERE full_key IN ("
                     " SELECT full_key FROM strategies"
@@ -319,6 +413,10 @@ class StrategyStore:
                     (excess,),
                 )
                 self._conn.commit()
+                # The memo must not outlive the rows it fronts: an entry
+                # evicted from disk has to read as a miss again.
+                for (evicted_key,) in evicted:
+                    self._memo.pop(evicted_key, None)
                 perf.incr("store.evictions", excess)
         except sqlite3.Error:
             self._degrade()
@@ -340,6 +438,7 @@ class StrategyStore:
         """An unexpected SQLite failure mid-run: stop using the store."""
         self.corrupt += 1
         perf.incr("store.corrupt")
+        self._memo.clear()
         self._shutdown()
         self._broken = True
 
@@ -354,4 +453,6 @@ class StrategyStore:
             "stale": self.stale,
             "corrupt": self.corrupt,
             "use_after_close": self.use_after_close,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
         }

@@ -36,6 +36,7 @@ from repro.obs.journal import (
     JOURNAL_SCHEMA_VERSION,
     RunJournal,
     iter_events,
+    journal_scope,
     read_journal,
     validate_event,
 )
@@ -53,7 +54,7 @@ from repro.obs.tracing import NULL_SPAN, NullSpan, Span, Tracer
 __all__ = [
     "configure", "shutdown", "enabled", "metrics_enabled", "tracer",
     "journal", "span", "begin_span", "end_span", "under", "traced",
-    "journal_event",
+    "journal_event", "journal_scope",
     "Tracer", "Span", "NullSpan", "NULL_SPAN", "RunJournal",
     "read_journal", "iter_events", "validate_event",
     "JOURNAL_SCHEMA_VERSION",

@@ -16,6 +16,11 @@ Sinks are pluggable: a filesystem path (JSONL file, flushed per event so a
 crashed run still leaves a readable journal), any writable text stream, a
 callable receiving each record dict, or ``None`` for an in-memory journal
 (the default; inspect via :attr:`RunJournal.records`).
+
+:func:`journal_scope` stamps correlation fields (e.g. a serving job id)
+into every record emitted from the current thread while the scope is
+active — the per-job correlation mechanism of the ``repro.serve`` layer,
+where N assay-worker threads share one process-global journal.
 """
 
 from __future__ import annotations
@@ -23,8 +28,9 @@ from __future__ import annotations
 import json
 import threading
 import warnings
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Callable, Iterable, TextIO
+from typing import Any, Callable, Iterable, Iterator, TextIO
 
 from repro.obs.tracing import jsonable
 
@@ -65,6 +71,46 @@ ENGINE_EVENTS = (
 )
 
 
+#: Thread-local stack of correlation-field dicts (see :func:`journal_scope`).
+_scope_local = threading.local()
+
+
+def scope_fields() -> dict[str, Any]:
+    """The merged correlation fields of the current thread's active scopes.
+
+    Inner scopes win on key collisions.  Empty when no scope is active —
+    the common (non-serving) case costs one ``getattr``.
+    """
+    stack = getattr(_scope_local, "stack", None)
+    if not stack:
+        return {}
+    merged: dict[str, Any] = {}
+    for fields in stack:
+        merged.update(fields)
+    return merged
+
+
+@contextmanager
+def journal_scope(**fields: Any) -> Iterator[None]:
+    """Stamp ``fields`` into every record this thread emits while active.
+
+    Scopes nest (inner wins per key) and are strictly thread-local: an
+    assay-worker thread wrapping a run in ``journal_scope(job_id=...)``
+    correlates that job's events without touching records emitted by
+    sibling threads sharing the same journal.  Explicit ``emit`` fields
+    always win over scope fields.
+    """
+    stack = getattr(_scope_local, "stack", None)
+    if stack is None:
+        stack = []
+        _scope_local.stack = stack
+    stack.append(dict(fields))
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
 class RunJournal:
     """An append-only, sink-pluggable event log."""
 
@@ -90,6 +136,7 @@ class RunJournal:
 
     def emit(self, event: str, cycle: int | None = None, **fields: Any) -> None:
         """Append one event record and forward it to the sink."""
+        scoped = scope_fields()
         with self._lock:
             self._seq += 1
             record: dict[str, Any] = {
@@ -101,6 +148,8 @@ class RunJournal:
                 record["cycle"] = int(cycle)
             for key, value in fields.items():
                 record[key] = jsonable(value)
+            for key, value in scoped.items():
+                record.setdefault(key, jsonable(value))
             self._records.append(record)
             if self._fh is not None:
                 self._fh.write(json.dumps(record) + "\n")

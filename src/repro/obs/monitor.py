@@ -41,9 +41,42 @@ class _MonitorHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
+    def _dispatch(self, method: str) -> bool:
+        """Offer the request to the pluggable routes callback.
+
+        Returns ``True`` when the callback claimed the request (it returned
+        a ``(status, content_type, body)`` triple); ``False`` lets the
+        built-in ``/metrics``/``/healthz`` handling (or the 404) proceed.
+        The callback receives the *raw* path (query string intact) plus the
+        request body, so route owners can parse ``?since=N`` style params.
+        """
+        routes = getattr(self.server, "monitor_routes", None)
+        if routes is None:
+            return False
+        body = b""
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > 0:
+            body = self.rfile.read(length)
+        result = routes(method, self.path, body)
+        if result is None:
+            return False
+        status, content_type, payload = result
+        self._respond(status, content_type, payload)
+        return True
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
+        try:
+            if not self._dispatch("POST"):
+                self._respond(404, "text/plain; charset=utf-8",
+                              f"not found: {self.path}\n")
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         try:
+            if self._dispatch("GET"):
+                return
             if path == "/metrics":
                 self._respond(
                     200, CONTENT_TYPE,
@@ -80,6 +113,11 @@ class MonitorServer:
     ``registry`` defaults to the live perf registry at scrape time;
     ``health`` is an optional callable whose dict return is merged into
     the ``/healthz`` document (run progress, degraded-engine flags, ...).
+    ``routes`` mounts extra endpoints on the same server: a callable
+    ``(method, raw_path, body) -> (status, content_type, body) | None``
+    consulted before the built-ins for every GET/POST — return ``None``
+    to decline.  This is how :mod:`repro.serve` grafts its job API onto
+    the monitor without a second listener.
     """
 
     def __init__(
@@ -88,11 +126,13 @@ class MonitorServer:
         host: str = "127.0.0.1",
         registry: "MetricsRegistry | None" = None,
         health: "Callable[[], dict[str, Any]] | None" = None,
+        routes: "Callable[[str, str, bytes], tuple[int, str, str] | None] | None" = None,
     ) -> None:
         self.host = host
         self.port = port
         self.registry = registry
         self.health = health
+        self.routes = routes
         self._server: "ThreadingHTTPServer | None" = None
         self._thread: "threading.Thread | None" = None
 
@@ -106,6 +146,7 @@ class MonitorServer:
         # sees the current process-global registry, even after perf.reset.
         server.monitor_registry = self.registry
         server.monitor_health = self.health
+        server.monitor_routes = self.routes
         self._server = server
         self.port = server.server_port
         self._thread = threading.Thread(

@@ -1,0 +1,120 @@
+"""A stdlib HTTP client for the serve API (``repro submit``, bench, tests).
+
+Deliberately tiny: ``http.client`` against one base URL, JSON in/out,
+no retries beyond connection reuse — the server is expected to be on
+the same host (the serve layer binds 127.0.0.1 by default).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any
+from urllib.parse import urlsplit
+
+from repro.serve.job import AssaySpec
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the serve API (``status`` + ``body``)."""
+
+    def __init__(self, status: int, body: str) -> None:
+        super().__init__(f"HTTP {status}: {body.strip()[:400]}")
+        self.status = status
+        self.body = body
+
+
+class ServeClient:
+    """Talk to one :class:`~repro.serve.service.ServeService` endpoint."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme in {base_url!r}")
+        netloc = parts.netloc or parts.path  # accept "host:port" shorthand
+        self.host, _, port = netloc.partition(":")
+        self.port = int(port) if port else 80
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, str]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload)
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read().decode("utf-8")
+        finally:
+            connection.close()
+
+    def _json(self, method: str, path: str, payload: dict | None = None) -> Any:
+        status, body = self._request(method, path, payload)
+        if status >= 300:
+            raise ServeError(status, body)
+        return json.loads(body) if body else None
+
+    # -- API verbs -------------------------------------------------------
+
+    def submit(self, spec: "AssaySpec | dict[str, Any]") -> str:
+        """POST the spec; returns the assigned job id."""
+        payload = spec.to_dict() if isinstance(spec, AssaySpec) else dict(spec)
+        return self._json("POST", "/jobs", payload)["id"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def events(
+        self, job_id: str, since: int = 0
+    ) -> tuple[list[dict[str, Any]], int, str]:
+        """One page of a job's journal: ``(records, next_since, state)``."""
+        status, body = self._request(
+            "GET", f"/jobs/{job_id}/events?since={since}"
+        )
+        if status >= 300:
+            raise ServeError(status, body)
+        records = [json.loads(line) for line in body.splitlines() if line]
+        trailer = records.pop()  # serve.events.page control record
+        return records, int(trailer["next"]), str(trailer["state"])
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll_s: float = 10.0
+    ) -> dict[str, Any]:
+        """Block until the job reaches a terminal state; returns its doc.
+
+        Uses the server's ``?wait=S`` long-poll (one blocked request per
+        ``poll_s`` window instead of a polling storm); ``poll_s`` is the
+        per-request long-poll window, capped server-side at 30 s.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"job {job_id} not terminal after {timeout:.0f}s"
+                )
+            window = max(min(poll_s, remaining), 0.01)
+            document = self._json(
+                "GET", f"/jobs/{job_id}?wait={window:.3f}"
+            )
+            if document["state"] not in ("queued", "running"):
+                return document
+
+    def healthz(self) -> dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> str:
+        status, body = self._request("GET", "/metrics")
+        if status >= 300:
+            raise ServeError(status, body)
+        return body

@@ -1,0 +1,76 @@
+"""The admission queue: priority-ordered, depth-gauged, closeable.
+
+A thin wrapper over ``heapq`` + condition variable rather than
+``queue.PriorityQueue`` for three serving-specific behaviours: strict
+(priority, FIFO) ordering without comparing job objects, a ``close()``
+that wakes every blocked worker exactly once (drain), and a ``drain()``
+that atomically empties the backlog so unstarted jobs can be rejected at
+shutdown.  Depth is exported as the ``serve.queue.depth`` gauge on every
+transition.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+from repro import perf
+from repro.serve.job import AssayJob
+
+
+class JobQueue:
+    """Priority admission queue (higher ``spec.priority`` runs first)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._heap: list[tuple[int, int, AssayJob]] = []
+        self._tick = itertools.count()
+        self._closed = False
+
+    def put(self, job: AssayJob) -> None:
+        """Enqueue; raises ``RuntimeError`` once the queue is closed."""
+        with self._nonempty:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            heapq.heappush(
+                self._heap, (-job.spec.priority, next(self._tick), job)
+            )
+            perf.set_gauge("serve.queue.depth", float(len(self._heap)))
+            self._nonempty.notify()
+
+    def get(self, timeout: float | None = None) -> AssayJob | None:
+        """Next job by (priority, FIFO); ``None`` on timeout or close."""
+        with self._nonempty:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._nonempty.wait(timeout):
+                    return None
+            _, _, job = heapq.heappop(self._heap)
+            perf.set_gauge("serve.queue.depth", float(len(self._heap)))
+            return job
+
+    def drain(self) -> list[AssayJob]:
+        """Atomically remove and return every queued job (drain path)."""
+        with self._nonempty:
+            jobs = [job for _, _, job in sorted(self._heap)]
+            self._heap.clear()
+            perf.set_gauge("serve.queue.depth", 0.0)
+            return jobs
+
+    def close(self) -> None:
+        """Stop accepting puts and wake every blocked ``get``."""
+        with self._nonempty:
+            self._closed = True
+            self._nonempty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)

@@ -197,7 +197,7 @@ class TestBrokenPoolRecovery:
             assert eng.faults.get("pool") == 1
             assert eng.rebuilds == 1
             assert eng.retried == 1  # the survivor rode along
-            inflight = eng._by_job.get(other_job().key())
+            inflight = eng._by_job.get(("", other_job().key()))
             assert inflight is not None
             assert eng._pending[inflight].attempts == 2
         finally:

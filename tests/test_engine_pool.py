@@ -18,11 +18,13 @@ from repro.engine.pool import _Speculation
 
 def inject_inflight(engine, key, future=None):
     """Register a hand-made in-flight speculation (tests only)."""
+    if len(key) == 2:  # (job key, fingerprint) shorthand: default tenant
+        key = ("", *key)
     spec = _Speculation(
         future if future is not None else Future(), {}, time.monotonic()
     )
     engine._pending[key] = spec
-    engine._by_job[key[0]] = key
+    engine._by_job[key[:2]] = key
     return spec
 
 from repro.bioassay.library import EVALUATION_BIOASSAYS
@@ -135,7 +137,7 @@ class TestSpeculation:
         # The pending-miss discards the speculation (counted wasted) so the
         # job key is immediately free for fresh resubmission.
         assert engine.wasted == 1
-        assert job().key() not in engine._by_job
+        assert ("", job().key()) not in engine._by_job
         engine.close()
         assert engine.wasted == 1  # not double-counted at close
 

@@ -130,3 +130,77 @@ class TestDefaultPath:
     def test_honours_xdg_cache_home(self, tmp_path, monkeypatch):
         monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
         assert default_store_path() == tmp_path / "repro" / "strategies.sqlite"
+
+
+class TestMemoAndConcurrency:
+    def test_memo_serves_repeat_reads(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        strategy = solved_strategy()
+        with StrategyStore(path) as writer:
+            writer.put(job(), full_health(), strategy)
+            # put memoizes: the writer's own reads never touch SQLite.
+            assert writer.get(job(), full_health()) == strategy
+            assert writer.memo_hits == 1 and writer.memo_misses == 0
+
+        store = StrategyStore(path)  # cold memo, warm SQLite
+        first = store.get(job(), full_health())   # SQLite read, memoized
+        second = store.get(job(), full_health())  # memo hit
+        assert first == strategy == second
+        assert store.memo_misses == 1
+        assert store.memo_hits == 1
+        assert store.hits == 2  # memo hits still count as store hits
+        store.close()
+
+    def test_memo_dropped_with_evicted_row(self, tmp_path):
+        store = StrategyStore(tmp_path / "s.sqlite", max_entries=2)
+        jobs = [job(goal=Rect(16 + 2 * i, 10, 19 + 2 * i, 13))
+                for i in range(3)]
+        for the_job in jobs:
+            store.put(the_job, full_health(), solved_strategy(the_job))
+        # jobs[0] was evicted from SQLite; the memo must agree.
+        assert store.get(jobs[0], full_health()) is None
+        assert store.get(jobs[1], full_health()) is not None
+        store.close()
+
+    def test_threaded_readers_share_one_connection(self, tmp_path):
+        store = StrategyStore(tmp_path / "s.sqlite")
+        jobs = [job(goal=Rect(16 + 2 * i, 10, 19 + 2 * i, 13))
+                for i in range(3)]
+        expected = {}
+        for the_job in jobs:
+            strategy = solved_strategy(the_job)
+            store.put(the_job, full_health(), strategy)
+            expected[the_job.key()] = strategy
+
+        import threading
+
+        errors: list = []
+
+        def hammer() -> None:
+            try:
+                for _ in range(25):
+                    for the_job in jobs:
+                        got = store.get(the_job, full_health())
+                        assert got == expected[the_job.key()]
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        reads = 4 * 25 * len(jobs)
+        assert store.hits == reads
+        assert store.memo_hits + store.memo_misses == reads
+        assert store.memo_hits >= reads - len(jobs)
+        store.close()
+
+    def test_wal_mode_enabled_on_disk_stores(self, tmp_path):
+        store = StrategyStore(tmp_path / "s.sqlite")
+        mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+        timeout = store._conn.execute("PRAGMA busy_timeout").fetchone()[0]
+        assert timeout == 5000
+        store.close()
