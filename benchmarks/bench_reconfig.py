@@ -1,0 +1,306 @@
+"""Reconfiguration bench: assay survival on dying silicon, with and
+without placement remapping.
+
+Runs the master-mix evaluation bioassay on a 60x30 chip through two
+deterministic fault families, each derived from the *actual placement*
+(the dead region is aimed at the first mixer's module slot so every
+droplet pattern the module could form is dead, plus a margin):
+
+* **clustered-fault** — an 8x8 dead block centered on the mixer slot
+  (the Fig. 3 correlated-wear failure mode, scaled to roadblock size);
+* **dead-column** — a 6-column dead stripe through the slot's columns
+  over the chip's middle rows (a failed column-driver bank), leaving
+  routing corridors along the north and south edges.
+
+Each family is swept across chip lifetime: the faulty MCs all trip at
+the same actuation count, and the chip is pre-worn to a sweep of
+actuation levels below and above it.  At each lifetime point the assay
+runs twice — remap-free baseline vs. ``ReconfigPolicy`` remapping — and
+the bench records completion, cycles, and remap counts.
+
+Hard gates (always enforced, they are the PR's contract):
+
+1. **remap completion probability 1.0** — the remap-enabled scheduler
+   completes every scenario at every lifetime point;
+2. **baseline fails on dead silicon** — at every lifetime point past the
+   failure threshold, the remap-free baseline does *not* complete (if it
+   did, the scenario would exercise nothing);
+3. **healthy-chip identity** — on a fault-free chip, the remap-enabled
+   scheduler's execution trace is bit-identical to the remap-free one
+   (reconfiguration must be a strict no-op until quarantine triggers).
+
+A wear-leveling section reruns the assay back-to-back with and without
+wear-biased re-placement and reports the peak per-MC actuation count
+(soft, informational).  Results land in ``BENCH_reconfig.json`` at the
+repo root; the journal (``reconfig.quarantine`` / ``reconfig.remap``
+events included) goes to ``benchmarks/out/bench_reconfig.journal.jsonl``
+for artifact upload.  Honours ``REPRO_BENCH_SCALE=quick|full``.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_reconfig.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import CHIP_HEIGHT, CHIP_WIDTH, OUT_DIR, SCALE, emit, scaled  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.bioassay.library import ALL_BIOASSAYS  # noqa: E402
+from repro.bioassay.ops import MOType  # noqa: E402
+from repro.bioassay.planner import plan  # noqa: E402
+from repro.biochip.chip import MedaChip  # noqa: E402
+from repro.biochip.simulator import MedaSimulator  # noqa: E402
+from repro.biochip.trace import ExecutionTrace  # noqa: E402
+from repro.core.baseline import AdaptiveRouter  # noqa: E402
+from repro.core.scheduler import HybridScheduler  # noqa: E402
+from repro.degradation.faults import (  # noqa: E402
+    FaultPlan,
+    dead_cluster_plan,
+    dead_column_plan,
+    no_faults,
+)
+from repro.reconfig import ReconfigPolicy  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_reconfig.json"
+JOURNAL_PATH = OUT_DIR / "bench_reconfig.journal.jsonl"
+
+BIOASSAY = "master-mix"
+CHIP_SEED = 0
+SIM_SEED = 7
+MAX_CYCLES = 1200
+
+#: Actuation count at which every scenario MC dies.  The lifetime sweep
+#: pre-wears the chip below and above this threshold; one assay adds well
+#: under 200 actuations per MC, so points at least that far below the
+#: threshold never trip mid-run.
+FAIL_AT = 1000.0
+
+
+def sample_chip(fault_plan: FaultPlan, prewear: float) -> MedaChip:
+    # Slow-degrading recipe: health stays near-perfect except where the
+    # scenario's sudden faults strike, so outcomes isolate the fault
+    # response rather than gradual wear.
+    chip = MedaChip.sample(
+        CHIP_WIDTH, CHIP_HEIGHT, np.random.default_rng(CHIP_SEED),
+        tau_range=(0.95, 0.99), c_range=(5000.0, 9000.0),
+        fault_plan=fault_plan,
+    )
+    chip.actuations += prewear
+    return chip
+
+
+def trace_digest(trace: ExecutionTrace) -> str:
+    """A stable digest of the routed frames (position-exact identity)."""
+    hasher = hashlib.sha256()
+    for frame in trace.frames:
+        hasher.update(
+            repr((frame.cycle, frame.droplets, frame.moving)).encode()
+        )
+    return hasher.hexdigest()[:16]
+
+
+def build_scenarios() -> dict[str, FaultPlan]:
+    """Fault families aimed at the placed bioassay's first mixer slot."""
+    graph = plan(ALL_BIOASSAYS[BIOASSAY](), CHIP_WIDTH, CHIP_HEIGHT)
+    mixer = next(mo for mo in graph.mos if mo.type is MOType.MIX)
+    slot = mixer.locs[0]
+    return {
+        "clustered-fault": dead_cluster_plan(
+            CHIP_WIDTH, CHIP_HEIGHT, [slot], fail_at=FAIL_AT
+        ),
+        "dead-column": dead_column_plan(
+            CHIP_WIDTH, CHIP_HEIGHT, column=int(slot[0]) - 2,
+            fail_at=FAIL_AT,
+        ),
+    }
+
+
+def execute(fault_plan: FaultPlan, prewear: float, reconfig: bool) -> dict:
+    graph = plan(ALL_BIOASSAYS[BIOASSAY](), CHIP_WIDTH, CHIP_HEIGHT)
+    chip = sample_chip(fault_plan, prewear)
+    policy = ReconfigPolicy(CHIP_WIDTH, CHIP_HEIGHT) if reconfig else None
+    scheduler = HybridScheduler(
+        graph, AdaptiveRouter(), CHIP_WIDTH, CHIP_HEIGHT, reconfig=policy
+    )
+    trace = ExecutionTrace()
+    sim = MedaSimulator(chip, np.random.default_rng(SIM_SEED), trace=trace)
+    t0 = time.perf_counter()
+    result = sim.run(scheduler, max_cycles=MAX_CYCLES)
+    return {
+        "success": bool(result.success),
+        "failure": None if result.success else result.failure,
+        "cycles": int(result.cycles),
+        "remaps": int(scheduler.remaps),
+        "wall_s": round(time.perf_counter() - t0, 4),
+        "digest": trace_digest(trace),
+    }
+
+
+def wear_level_section(runs: int) -> dict:
+    """Back-to-back runs on one healthy chip, with and without wear-biased
+    re-placement; reports how the actuation load spreads."""
+    section: dict[str, dict] = {}
+    for mode in ("fixed", "wear-leveled"):
+        chip = sample_chip(no_faults(CHIP_WIDTH, CHIP_HEIGHT), 0.0)
+        base = ALL_BIOASSAYS[BIOASSAY]()
+        graph = plan(base, CHIP_WIDTH, CHIP_HEIGHT)
+        outcomes = []
+        for run in range(runs):
+            if mode == "wear-leveled" and run:
+                graph = plan(base, CHIP_WIDTH, CHIP_HEIGHT,
+                             wear=chip.actuations.copy())
+            scheduler = HybridScheduler(
+                graph, AdaptiveRouter(), CHIP_WIDTH, CHIP_HEIGHT
+            )
+            sim = MedaSimulator(chip, np.random.default_rng(SIM_SEED + run))
+            result = sim.run(scheduler, max_cycles=MAX_CYCLES)
+            outcomes.append(bool(result.success))
+        section[mode] = {
+            "runs": runs,
+            "all_succeeded": all(outcomes),
+            "peak_actuations": float(chip.actuations.max()),
+            "mean_actuations": round(float(chip.actuations.mean()), 2),
+        }
+    return section
+
+
+def run_bench() -> dict:
+    prewear_points = (
+        [0.0, FAIL_AT + 100.0] if SCALE == "quick"
+        else [0.0, 400.0, 800.0, FAIL_AT + 100.0]
+    )
+    scenarios = build_scenarios()
+
+    # Healthy-chip identity: reconfiguration enabled but never triggered
+    # must be byte-for-byte the pre-existing scheduler.
+    healthy = no_faults(CHIP_WIDTH, CHIP_HEIGHT)
+    identity = {
+        "baseline": execute(healthy, 0.0, reconfig=False),
+        "reconfig": execute(healthy, 0.0, reconfig=True),
+    }
+    identity["ok"] = (
+        identity["baseline"]["digest"] == identity["reconfig"]["digest"]
+        and identity["baseline"]["success"]
+        and identity["reconfig"]["success"]
+        and identity["reconfig"]["remaps"] == 0
+    )
+
+    results: dict[str, dict] = {}
+    for name, fault_plan in scenarios.items():
+        obs.journal_event("bench.scenario", name=name, fail_at=FAIL_AT)
+        points = []
+        for prewear in prewear_points:
+            points.append({
+                "prewear": prewear,
+                "faults_active": prewear >= FAIL_AT,
+                "baseline": execute(fault_plan, prewear, reconfig=False),
+                "reconfig": execute(fault_plan, prewear, reconfig=True),
+            })
+        results[name] = {
+            "dead_cells": int(fault_plan.faulty.sum()),
+            "lifetime": points,
+        }
+
+    remap_attempted = remap_completed = 0
+    baseline_dead_failures = []
+    for name, scenario in results.items():
+        for point in scenario["lifetime"]:
+            remap_attempted += 1
+            remap_completed += int(point["reconfig"]["success"])
+            if point["faults_active"] and point["baseline"]["success"]:
+                baseline_dead_failures.append(
+                    f"{name} @ prewear {point['prewear']:.0f}: remap-free "
+                    f"baseline completed on dead silicon"
+                )
+    return {
+        "bench": "reconfig",
+        "bioassay": BIOASSAY,
+        "chip": {"width": CHIP_WIDTH, "height": CHIP_HEIGHT},
+        "max_cycles": MAX_CYCLES,
+        "scale": SCALE,
+        "fail_at": FAIL_AT,
+        "prewear_points": prewear_points,
+        "identity": identity,
+        "scenarios": results,
+        "wear_leveling": wear_level_section(scaled(2, 4)),
+        "remap_completion_probability": (
+            remap_completed / remap_attempted if remap_attempted else 0.0
+        ),
+        "baseline_dead_failures": baseline_dead_failures,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.parse_args(argv)
+
+    OUT_DIR.mkdir(exist_ok=True)
+    obs.configure(journal=JOURNAL_PATH)
+    try:
+        report = run_bench()
+    finally:
+        obs.shutdown()
+    JSON_PATH.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [
+        f"reconfiguration survival, {report['bioassay']} on "
+        f"{CHIP_WIDTH}x{CHIP_HEIGHT}, fail_at={report['fail_at']:.0f} "
+        f"(scale={report['scale']})",
+    ]
+    for name, scenario in report["scenarios"].items():
+        lines.append(f"  {name} ({scenario['dead_cells']} dead MCs):")
+        for point in scenario["lifetime"]:
+            base, reco = point["baseline"], point["reconfig"]
+            lines.append(
+                f"    prewear {point['prewear']:6.0f}"
+                f" [{'dead' if point['faults_active'] else 'live'}]"
+                f"  baseline={'ok' if base['success'] else base['failure']}"
+                f"/{base['cycles']}cy"
+                f"  remap={'ok' if reco['success'] else reco['failure']}"
+                f"/{reco['cycles']}cy"
+                f" remaps={reco['remaps']}"
+            )
+    wear = report["wear_leveling"]
+    lines += [
+        f"  healthy-chip identity:  "
+        f"{'ok' if report['identity']['ok'] else 'VIOLATED'}",
+        f"  remap completion probability: "
+        f"{report['remap_completion_probability']:.2f} (gate: 1.00)",
+        f"  wear-level peak actuations: "
+        f"fixed={wear['fixed']['peak_actuations']:.0f} "
+        f"leveled={wear['wear-leveled']['peak_actuations']:.0f}",
+        f"  wrote {JSON_PATH}",
+        f"  journal {JOURNAL_PATH}",
+    ]
+    emit("bench_reconfig", "\n".join(lines))
+
+    hard_failures = []
+    if report["remap_completion_probability"] != 1.0:
+        hard_failures.append(
+            f"remap completion probability "
+            f"{report['remap_completion_probability']:.2f} != 1.0"
+        )
+    hard_failures.extend(report["baseline_dead_failures"])
+    if not report["identity"]["ok"]:
+        hard_failures.append(
+            "healthy-chip trace identity violated (reconfig-on run diverged "
+            "from the remap-free scheduler)"
+        )
+    for message in hard_failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if hard_failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

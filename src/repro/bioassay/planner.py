@@ -9,23 +9,38 @@ Placement policy (deterministic, router-independent):
 
 * **dispense** MOs go to reservoir ports spread along the south and north
   chip edges (matching the Fig. 12 example, where droplets enter at
-  ``(17.5, 2.5)`` and ``(17.5, 28.5)``);
-* **output/discard** MOs go to exit ports on the east edge;
+  ``(17.5, 2.5)`` and ``(17.5, 28.5)``); when an edge's nominal pitch no
+  longer fits, the port falls back to the tightest non-merging pitch and
+  then to the opposite edge before raising;
+* **output/discard** MOs go to exit ports on the east edge, overflowing
+  to the west edge the same way;
 * all other MOs are placed on a grid of interior module slots, each MO
   taking the slot nearest to the centroid of its predecessors' locations
   (minimizing expected routing distance), with a usage-count tiebreak that
   spreads wear across the array.
+
+When constructed with a ``wear`` array (accumulated per-cell actuation
+counts), slot and reservoir-edge choice is additionally biased away from
+worn silicon — the wear-leveling mode used by ``repro run --wear-level``.
+With no wear array (or an all-zero one) placements are identical to the
+unbiased planner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
 
 from repro.bioassay.ops import MO, MOType, MO_LOCATIONS
 from repro.bioassay.seqgraph import SequencingGraph
 
 #: Clearance kept between interior module slots and the chip edge.
 EDGE_CLEARANCE = 6
+
+#: Cost-per-mean-actuation added to a slot when wear-leveling is active.
+WEAR_WEIGHT = 0.25
 
 
 @dataclass(frozen=True)
@@ -47,13 +62,28 @@ class PlannerConfig:
 class Planner:
     """Assigns center locations to every MO of a sequencing graph."""
 
-    def __init__(self, config: PlannerConfig) -> None:
+    def __init__(
+        self,
+        config: PlannerConfig,
+        wear: np.ndarray | None = None,
+        wear_weight: float = WEAR_WEIGHT,
+    ) -> None:
         self.config = config
         self._slots = self._build_slots()
         self._slot_usage = [0] * len(self._slots)
-        self._south_ports = 0
-        self._north_ports = 0
-        self._exit_ports = 0
+        self._south_xs: list[float] = []
+        self._north_xs: list[float] = []
+        self._east_ys: list[float] = []
+        self._west_ys: list[float] = []
+        if wear is not None:
+            wear = np.asarray(wear, dtype=float)
+            if wear.shape != (config.width, config.height):
+                raise ValueError(
+                    f"wear array shape {wear.shape} does not match chip "
+                    f"{config.width}x{config.height}"
+                )
+        self.wear = wear
+        self.wear_weight = wear_weight
 
     def _build_slots(self) -> list[tuple[float, float]]:
         """Interior module slots, kept clear of reservoir and exit ports.
@@ -68,6 +98,13 @@ class Planner:
         ys = list(range(EDGE_CLEARANCE + 4, cfg.height - EDGE_CLEARANCE - 2,
                         cfg.slot_spacing_y))
         return [(float(x) + 0.5, float(y) + 0.5) for y in ys for x in xs]
+
+    @property
+    def n_slots(self) -> int:
+        return len(self._slots)
+
+    def slot(self, idx: int) -> tuple[float, float]:
+        return self._slots[idx]
 
     def place(self, graph: SequencingGraph) -> SequencingGraph:
         """Return a placed copy of the graph (already-placed MOs are kept)."""
@@ -91,10 +128,11 @@ class Planner:
         if mo.type in (MOType.OUT, MOType.DSC):
             return (self._exit_port(),)
         centroid = self._centroid(mo, known)
-        primary = self._nearest_slot(centroid)
+        primary_idx = self.take_slot(centroid)
+        primary = self._slots[primary_idx]
         if n_locs == 1:
             return (primary,)
-        secondary = self._nearest_slot(primary, exclude=primary)
+        secondary = self._slots[self.take_slot(primary, exclude=primary_idx)]
         return (primary, secondary)
 
     def _centroid(
@@ -108,50 +146,153 @@ class Planner:
             sum(c[1] for c in coords) / len(coords),
         )
 
+    def slot_order(
+        self,
+        target: tuple[float, float],
+        exclude: int | None = None,
+        slot_cost: Callable[[int, tuple[float, float]], float] | None = None,
+    ) -> list[int]:
+        """Slot indices ordered cheapest-first for a droplet near ``target``.
+
+        Cost is usage-balanced Manhattan distance with a deterministic
+        ``(cost, idx)`` tie-break; ``exclude`` skips one slot *by index*
+        (two distinct slots may legitimately share coordinates once
+        remapping introduces spares).  ``slot_cost`` adds an arbitrary
+        extra term — the reconfiguration policy uses it for health-weighted
+        relocation costs.
+        """
+        keyed: list[tuple[float, int]] = []
+        for idx, slot in enumerate(self._slots):
+            if idx == exclude:
+                continue
+            dist = abs(slot[0] - target[0]) + abs(slot[1] - target[1])
+            cost = self._slot_usage[idx] * 5.0 + dist
+            if self.wear is not None:
+                cost += self.wear_weight * self._slot_wear(idx)
+            if slot_cost is not None:
+                cost += slot_cost(idx, slot)
+            keyed.append((cost, idx))
+        keyed.sort()
+        return [idx for _, idx in keyed]
+
+    def take_slot(
+        self,
+        target: tuple[float, float],
+        exclude: int | None = None,
+        slot_cost: Callable[[int, tuple[float, float]], float] | None = None,
+    ) -> int:
+        """Claim (and usage-count) the cheapest slot for ``target``."""
+        order = self.slot_order(target, exclude=exclude, slot_cost=slot_cost)
+        if not order:
+            raise RuntimeError("planner has no available module slots")
+        self._slot_usage[order[0]] += 1
+        return order[0]
+
+    def note_usage(self, idx: int) -> None:
+        """Record an externally-assigned slot so later picks avoid it."""
+        self._slot_usage[idx] += 1
+
     def _nearest_slot(
         self,
         target: tuple[float, float],
-        exclude: tuple[float, float] | None = None,
+        exclude: int | None = None,
     ) -> tuple[float, float]:
-        best_idx = -1
-        best_key: tuple[float, int] | None = None
-        for idx, slot in enumerate(self._slots):
-            if exclude is not None and slot == exclude:
-                continue
-            dist = abs(slot[0] - target[0]) + abs(slot[1] - target[1])
-            key = (self._slot_usage[idx] * 5.0 + dist, idx)
-            if best_key is None or key < best_key:
-                best_key, best_idx = key, idx
-        if best_idx < 0:
-            raise RuntimeError("planner has no available module slots")
-        self._slot_usage[best_idx] += 1
-        return self._slots[best_idx]
+        return self._slots[self.take_slot(target, exclude=exclude)]
+
+    def _slot_wear(self, idx: int) -> float:
+        """Mean accumulated actuations over a slot's module footprint."""
+        assert self.wear is not None
+        sx, sy = self._slots[idx]
+        x0, x1 = max(0, int(sx) - 3), min(self.config.width, int(sx) + 3)
+        y0, y1 = max(0, int(sy) - 3), min(self.config.height, int(sy) + 3)
+        return float(self.wear[x0:x1, y0:y1].mean())
+
+    def _port_wear(self, cx: float, cy: float, w: int, h: int) -> float:
+        assert self.wear is not None
+        x0 = max(0, int(cx - w / 2))
+        x1 = min(self.config.width, int(cx + w / 2) + 1)
+        y0 = max(0, int(cy - h / 2))
+        y1 = min(self.config.height, int(cy + h / 2) + 1)
+        return float(self.wear[x0:x1, y0:y1].mean())
 
     def _dispense_port(self, mo: MO) -> tuple[float, float]:
-        """Alternate reservoir ports along the south and north edges."""
+        """Alternate reservoir ports along the south and north edges.
+
+        When the nominal pitch no longer fits an edge, fall back to the
+        tightest non-merging pitch after that edge's last port, then to the
+        opposite edge; raise when both edges are genuinely full.
+        """
         cfg = self.config
         assert mo.size is not None
         w, h = mo.size
+        south = (self._south_xs, h / 2 + 0.5)
+        north = (self._north_xs, cfg.height - h / 2 + 0.5)
+        prefer_south = len(self._south_xs) <= len(self._north_xs)
+        if self.wear is not None:
+            s_x = self._edge_port_x(self._south_xs, w)
+            n_x = self._edge_port_x(self._north_xs, w)
+            if s_x is not None and n_x is not None:
+                s_wear = self._port_wear(s_x - 0.5, south[1], w, h)
+                n_wear = self._port_wear(n_x - 0.5, north[1], w, h)
+                if abs(s_wear - n_wear) > 1e-9:
+                    prefer_south = s_wear < n_wear
+        for placed, cy in (south, north) if prefer_south else (north, south):
+            x = self._edge_port_x(placed, w)
+            if x is not None:
+                placed.append(x)
+                return (x - 0.5, cy)
+        raise ValueError(
+            f"no reservoir port fits MO {mo.name!r} (pattern width {w}) on "
+            f"either edge of a {cfg.width}-wide chip"
+        )
+
+    def _edge_port_x(self, placed: list[float], w: int) -> float | None:
+        """Next port x on one edge, or None when the edge is full."""
         spacing = max(w + 6, 10)
-        if self._south_ports <= self._north_ports:
-            idx = self._south_ports
-            self._south_ports += 1
-            x = min(6 + idx * spacing + w / 2, cfg.width - w / 2)
-            return (x - 0.5, h / 2 + 0.5)
-        idx = self._north_ports
-        self._north_ports += 1
-        x = min(6 + idx * spacing + w / 2, cfg.width - w / 2)
-        return (x - 0.5, cfg.height - h / 2 + 0.5)
+        hi = self.config.width - w / 2
+        x = 6 + len(placed) * spacing + w / 2
+        if x > hi and placed:
+            # Nominal pitch overflows: pack at the tightest pitch that still
+            # keeps a 2-MC anti-merge gap after the edge's last port.
+            x = placed[-1] + w + 2
+        return None if x > hi else x
 
     def _exit_port(self) -> tuple[float, float]:
-        """Exit ports spaced along the east edge."""
+        """Exit ports spaced along the east edge, overflowing to the west."""
         cfg = self.config
-        idx = self._exit_ports
-        self._exit_ports += 1
-        y = min(8 + idx * 8, cfg.height - 4)
-        return (cfg.width - 2.5, float(y) + 0.5)
+        for placed, cx in ((self._east_ys, cfg.width - 2.5),
+                           (self._west_ys, 2.5)):
+            y = self._edge_exit_y(placed)
+            if y is not None:
+                placed.append(y)
+                return (cx, y + 0.5)
+        raise ValueError(
+            f"no exit port left on either edge of a {cfg.height}-tall chip"
+        )
+
+    def _edge_exit_y(self, placed: list[float]) -> float | None:
+        """Next exit-port y on one edge, or None when the edge is full."""
+        cfg = self.config
+        y = 8.0 + len(placed) * 8
+        if y <= cfg.height - 4:
+            return y
+        if placed:
+            # Compressed pitch: 4-tall exit pattern plus a 2-MC gap.
+            y = placed[-1] + 6
+            if y <= cfg.height - 2:
+                return y
+        return None
 
 
-def plan(graph: SequencingGraph, width: int, height: int) -> SequencingGraph:
-    """Convenience wrapper: place ``graph`` on a ``width x height`` chip."""
-    return Planner(PlannerConfig(width=width, height=height)).place(graph)
+def plan(
+    graph: SequencingGraph,
+    width: int,
+    height: int,
+    wear: np.ndarray | None = None,
+) -> SequencingGraph:
+    """Convenience wrapper: place ``graph`` on a ``width x height`` chip.
+
+    ``wear`` (accumulated actuation counts, shape ``(width, height)``)
+    enables wear-leveled placement.
+    """
+    return Planner(PlannerConfig(width=width, height=height), wear=wear).place(graph)

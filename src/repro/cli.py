@@ -70,13 +70,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.file:
         from repro.bioassay.io import load_graph
 
-        graph = plan(load_graph(args.file), args.width, args.height)
+        base_graph = load_graph(args.file)
     elif args.bioassay in ALL_BIOASSAYS:
-        graph = plan(ALL_BIOASSAYS[args.bioassay](), args.width, args.height)
+        base_graph = ALL_BIOASSAYS[args.bioassay]()
     else:
         print(f"unknown bioassay {args.bioassay!r}; try `repro list`",
               file=sys.stderr)
         return 2
+    graph = plan(base_graph, args.width, args.height)
     chip = MedaChip.sample(
         args.width, args.height, np.random.default_rng(args.seed),
         tau_range=(args.tau_min, args.tau_max),
@@ -218,15 +219,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
             obs.journal_event("cli.run", run=run_idx + 1,
                               bioassay=args.bioassay, router=args.router,
                               seed=args.seed, workers=args.workers)
-            scheduler = HybridScheduler(graph, router, args.width, args.height)
+            if args.wear_level and run_idx:
+                # Re-place from scratch against the wear accumulated by the
+                # previous runs, steering module slots and ports away from
+                # the most-actuated silicon.
+                graph = plan(base_graph, args.width, args.height,
+                             wear=chip.actuations.copy())
+            reconfig = None
+            if args.reconfig:
+                from repro.reconfig import ReconfigPolicy
+
+                reconfig = ReconfigPolicy(
+                    args.width, args.height,
+                    wear=chip.actuations.copy() if args.wear_level else None,
+                )
+            scheduler = HybridScheduler(graph, router, args.width, args.height,
+                                        reconfig=reconfig)
             sim = MedaSimulator(chip,
                                 np.random.default_rng(args.seed + 1 + run_idx))
             if engine is not None and engine.pooled:
                 scheduler.presynthesize(chip.health())
             result = sim.run(scheduler, max_cycles=args.max_cycles)
             status = "ok" if result.success else f"FAILED ({result.failure})"
+            extra = f" remaps={scheduler.remaps}" if args.reconfig else ""
             print(f"run {run_idx + 1}: {status:24s} cycles={result.cycles:4d} "
-                  f"replans={result.resyntheses}")
+                  f"replans={result.resyntheses}{extra}")
             total_failures += 0 if result.success else 1
         # Orderly teardown before the SLO gate: closing the engine salvages
         # any remaining worker telemetry (merging worker-side metric deltas
@@ -543,6 +560,15 @@ def _add_run_options(run: argparse.ArgumentParser) -> None:
                           "'kill=0.1,raise=0.05,delay=0.1:250,store=0.2,"
                           "seed=7' (see repro.engine.chaos; REPRO_CHAOS_SEED "
                           "overrides the seed)")
+    run.add_argument("--reconfig", action=argparse.BooleanOptionalAction,
+                     default=False,
+                     help="quarantine failing silicon and remap module "
+                          "placements around it at runtime")
+    run.add_argument("--wear-level", action=argparse.BooleanOptionalAction,
+                     default=False,
+                     help="re-place each run biased away from accumulated "
+                          "actuation wear (and bias remap slot choice when "
+                          "--reconfig is on)")
     run.add_argument("--show-wear", action="store_true",
                      help="print the chip wear heatmap afterwards")
     run.add_argument("--perf", action="store_true",

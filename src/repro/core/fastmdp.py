@@ -31,6 +31,7 @@ back to the explicit builder in :mod:`repro.core.synthesis`.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -589,11 +590,17 @@ class _BuildTemplate:
 _TEMPLATE_CACHE: "dict[tuple, _BuildTemplate]" = {}
 _TEMPLATE_CACHE_MAX = 64
 
+#: Guards cache mutation and the lazy per-template fuse.  The serve layer
+#: runs builds on worker threads, and two workers revaluing the same
+#: template must not observe a half-published replay table.
+_TEMPLATE_LOCK = threading.Lock()
+
 
 def clear_build_template_cache() -> None:
     """Drop the build-template cache (benches model a cold process with
     this; regular code never needs it — revalues are bit-identical)."""
-    _TEMPLATE_CACHE.clear()
+    with _TEMPLATE_LOCK:
+        _TEMPLATE_CACHE.clear()
 
 
 def _fuse_shape_records(sh: _ShapeRecord, k: int) -> None:
@@ -603,8 +610,12 @@ def _fuse_shape_records(sh: _ShapeRecord, k: int) -> None:
     the whole shape, and compiles every spec's outcome list into the
     tables :func:`_revalue_template` replays as a handful of whole-shape
     array operations.  Everything here is force-independent geometry.
+
+    ``fused_gather`` doubles as the "tables are ready" sentinel for
+    concurrent revaluers, so it is assigned *last*: a reader that sees it
+    non-``None`` is guaranteed every other table was published first.
     """
-    sh.fused_gather = (
+    fused_gather = (
         np.concatenate([rec.gather for rec in sh.specs], axis=1)
         if sh.specs else np.zeros((4, 0, k), dtype=np.int64)
     )
@@ -687,6 +698,7 @@ def _fuse_shape_records(sh: _ShapeRecord, k: int) -> None:
         np.concatenate(cols_list) if cols_list
         else np.zeros(0, dtype=np.int64)
     )
+    sh.fused_gather = fused_gather
 
 
 def _revalue_template(
@@ -708,7 +720,9 @@ def _revalue_template(
     for sh in tpl.shapes:
         k = sh.xa.size
         if sh.fused_gather is None:
-            _fuse_shape_records(sh, k)
+            with _TEMPLATE_LOCK:
+                if sh.fused_gather is None:
+                    _fuse_shape_records(sh, k)
         probs_all = _gathered_probs(
             pf, sh.fused_gather, sh.fused_valid, sh.fused_area
         )
@@ -821,7 +835,8 @@ def build_routing_model_fast(
         job.key(), forces.shape, float(max_aspect),
         families if families is None else tuple(families),
     )
-    tpl = _TEMPLATE_CACHE.get(key)
+    with _TEMPLATE_LOCK:
+        tpl = _TEMPLATE_CACHE.get(key)
     if tpl is not None:
         model = _revalue_template(tpl, job, forces)
         if model is not None:
@@ -831,9 +846,10 @@ def build_routing_model_fast(
     else:
         perf.incr("fastmdp.template.misses")
     model, tpl = _build_fast(job, forces, max_aspect, families)
-    if len(_TEMPLATE_CACHE) >= _TEMPLATE_CACHE_MAX:
-        _TEMPLATE_CACHE.pop(next(iter(_TEMPLATE_CACHE)))
-    _TEMPLATE_CACHE[key] = tpl
+    with _TEMPLATE_LOCK:
+        if len(_TEMPLATE_CACHE) >= _TEMPLATE_CACHE_MAX:
+            _TEMPLATE_CACHE.pop(next(iter(_TEMPLATE_CACHE)))
+        _TEMPLATE_CACHE[key] = tpl
     return model
 
 
@@ -855,7 +871,8 @@ def build_dedup_token(
         job.key(), forces.shape, float(max_aspect),
         families if families is None else tuple(families),
     )
-    tpl = _TEMPLATE_CACHE.get(key)
+    with _TEMPLATE_LOCK:
+        tpl = _TEMPLATE_CACHE.get(key)
     if tpl is None:
         return None
     x0, x1, y0, y1 = tpl.window

@@ -166,6 +166,28 @@ class RJHelper:
         """Decompose a dependency-ordered MO list."""
         return [self.decompose(mo) for mo in mos]
 
+    def redecompose(self, mo: MO, commit: bool = True) -> DecomposedMO | None:
+        """Re-decompose an already-decomposed MO at a new placement.
+
+        Used by the reconfiguration layer to trial-relocate a module slot.
+        Returns ``None`` when the relocated placement cannot be decomposed
+        (e.g. split halves collide at a chip edge).  With ``commit=False``
+        — or on failure — the MO's previously recorded output patterns are
+        restored, so dependants see no change until a relocation is
+        committed.
+        """
+        saved = self._outputs.get(mo.name)
+        try:
+            decomposed = self.decompose(mo)
+        except ValueError:
+            decomposed = None
+        if decomposed is None or not commit:
+            if saved is not None:
+                self._outputs[mo.name] = saved
+            else:
+                self._outputs.pop(mo.name, None)
+        return decomposed
+
     # -- per-type cases ------------------------------------------------------
 
     def _decompose_dispense(self, mo: MO) -> DecomposedMO:

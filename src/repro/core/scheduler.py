@@ -30,7 +30,7 @@ from repro.bioassay.ops import MOType
 from repro.bioassay.seqgraph import SequencingGraph
 from repro.core.actions import ACTIONS, apply_action
 from repro.core.baseline import Router
-from repro.core.droplet import fit_droplet_shape
+from repro.core.droplet import fit_droplet_shape, is_off_chip
 from repro.core.routing_job import DecomposedMO, RJHelper, RoutingJob, zone
 from repro.core.strategy import (
     RoutingStrategy,
@@ -78,7 +78,7 @@ class MOEvent:
 
     cycle: int
     mo: str
-    kind: str  # "activated" | "done" | "merged" | "split" | "stalled"
+    kind: str  # "activated" | "done" | "merged" | "split" | "stalled" | "remapped"
 
 
 @dataclass(frozen=True)
@@ -109,6 +109,8 @@ class _MOState:
     activated_cycle: int = -1
     done_cycle: int = -1
     span: "obs.Span | None" = None
+    #: Quarantine-map version this MO's placement was last checked against.
+    remap_version: int = 0
 
 
 class HybridScheduler:
@@ -129,6 +131,7 @@ class HybridScheduler:
         stall_recovery_threshold: int = 12,
         engine: "object | None" = None,
         prefetch_horizon: int = 8,
+        reconfig: "object | None" = None,
     ) -> None:
         """``resynthesis_latency`` models the hybrid scheme's *asynchronous*
         resynthesis (Sec. VI-D): when zone health changes, the old strategy
@@ -161,6 +164,15 @@ class HybridScheduler:
         router synthesizes synchronously.  With ``engine=None`` (or when
         ``router`` has no ``prefetch``) the scheduler behaves exactly as
         before.
+
+        ``reconfig`` is an optional
+        :class:`repro.reconfig.ReconfigPolicy`.  When set, the scheduler
+        maintains a quarantine map of non-viable silicon each cycle,
+        relocates a ready MO's module slots *before* activation (and hence
+        before any synthesis) when its placement is quarantined, and
+        injects quarantined regions as routing obstacles.  On a chip where
+        nothing is ever quarantined the policy never fires and execution
+        traces are bit-identical to ``reconfig=None``.
         """
         if not graph.is_placed():
             raise ValueError("scheduler needs a placed sequencing graph")
@@ -174,11 +186,13 @@ class HybridScheduler:
         self.width = width
         self.height = height
         self.resynthesis_latency = resynthesis_latency
-        helper = RJHelper(width, height)
+        # Retained: the reconfiguration layer re-decomposes remapped MOs
+        # through the same helper so successor MOs see updated outputs.
+        self._helper = RJHelper(width, height)
         self._order = [mo.name for mo in graph.topological()]
         self._states: dict[str, _MOState] = {}
         for mo in graph.topological():
-            self._states[mo.name] = _MOState(decomposed=helper.decompose(mo))
+            self._states[mo.name] = _MOState(decomposed=self._helper.decompose(mo))
         self.droplets: dict[int, Rect] = {}
         self._owner: dict[int, str] = {}
         self._parked: dict[tuple[str, int], int] = {}
@@ -195,6 +209,13 @@ class HybridScheduler:
         #: Set once the engine reports permanent degradation (pool gone):
         #: the scheduler keeps planning on the synchronous path unchanged.
         self.engine_degraded_observed = False
+        self._reconfig = reconfig
+        self._qmap = None
+        self.remaps = 0
+        if reconfig is not None:
+            seed = getattr(reconfig, "seed_placement", None)
+            if seed is not None:
+                seed(graph.mos)
         self.failure: str | None = None
         self.cycle = 0
         self.resyntheses = 0
@@ -222,6 +243,8 @@ class HybridScheduler:
     def _plan_cycle(self, health: np.ndarray) -> CyclePlan:
         if self.failure or self.complete:
             return CyclePlan({}, {}, failure=self.failure, complete=self.complete)
+        if self._reconfig is not None:
+            self._qmap = self._reconfig.update(health, cycle=self.cycle)
         self._activate_ready(health)
         if not self.failure:
             self._prefetch(health)
@@ -619,11 +642,86 @@ class HybridScheduler:
         if self.activation_order != "program":
             ready.sort(key=lambda name: self._activation_key(name, health))
         for name in ready:
+            if self._reconfig is not None:
+                # Remap fires before the fencing check and before any
+                # synthesis, so conflicts and routing jobs are evaluated
+                # against the relocated placement.
+                self._maybe_remap(name, self._states[name], health)
             if self._conflicts(name):
                 continue
             self._activate(name, self._states[name], health)
             if self.failure:
                 return
+
+    #: MO types occupying interior module slots (remappable placements).
+    _SLOT_TYPES = (MOType.MIX, MOType.DLT, MOType.SPT, MOType.MAG)
+
+    def _maybe_remap(self, name: str, state: _MOState, health: np.ndarray) -> None:
+        """Relocate a ready MO's module slots if its zone is quarantined.
+
+        Runs at most once per quarantine-map version per MO.  A successful
+        remap swaps in the re-decomposed MO (successors rebase onto the new
+        outputs automatically via ``_fit_job``) and invalidates any
+        in-flight engine speculations for the retired jobs — their keys can
+        never be requested again.  Strategy-store entries need no action:
+        they are keyed by job geometry, so retired keys are simply never
+        looked up.
+        """
+        qmap = self._qmap
+        if qmap is None or not qmap.cells or state.remap_version == qmap.version:
+            return
+        state.remap_version = qmap.version
+        mo = state.decomposed.mo
+        if mo.type not in self._SLOT_TYPES:
+            return
+        if not self._reconfig.placement_tainted(state.decomposed):
+            return
+        old = state.decomposed
+        new = self._reconfig.remap(
+            mo, self._remap_centroid(mo), health, self._helper
+        )
+        if new is None:
+            obs.journal_event(
+                "reconfig.remap", cycle=self.cycle, mo=name, success=False,
+                from_locs=[list(loc) for loc in mo.locs],
+                version=qmap.version,
+            )
+            return
+        state.decomposed = new
+        self.remaps += 1
+        perf.incr("scheduler.remaps")
+        self.events.append(MOEvent(self.cycle, name, "remapped"))
+        obs.journal_event(
+            "reconfig.remap", cycle=self.cycle, mo=name, success=True,
+            from_locs=[list(loc) for loc in mo.locs],
+            to_locs=[list(loc) for loc in new.mo.locs],
+            version=qmap.version,
+        )
+        invalidate = getattr(self.engine, "invalidate", None)
+        if invalidate is not None:
+            for job in old.jobs:
+                if not job.is_dispense:
+                    invalidate(job)
+
+    def _remap_centroid(self, mo) -> tuple[float, float]:
+        """Where the MO's inputs actually are (parked droplets when known,
+        decomposed predecessor outputs otherwise)."""
+        coords = []
+        for idx, pred in enumerate(mo.pre):
+            slot = mo.pre_output[idx] if mo.pre_output else 0
+            did = self._parked.get((pred, slot))
+            if did is not None and did in self.droplets:
+                coords.append(self.droplets[did].center)
+                continue
+            outputs = self._states[pred].decomposed.output_patterns
+            if slot < len(outputs):
+                coords.append(outputs[slot].center)
+        if not coords:
+            return mo.locs[0]
+        return (
+            sum(c[0] for c in coords) / len(coords),
+            sum(c[1] for c in coords) / len(coords),
+        )
 
     def _activate(self, name: str, state: _MOState, health: np.ndarray) -> None:
         mo = self.graph.mo(name)
@@ -692,16 +790,50 @@ class HybridScheduler:
         )
 
     def _with_obstacles(self, job: RoutingJob, owner: str) -> RoutingJob:
-        """Attach the keep-out set: foreign droplets near the hazard zone."""
-        obstacles = tuple(
-            sorted(
-                rect
-                for did, rect in self.droplets.items()
-                if self._owner.get(did) != owner
-                and rect.expanded(2).overlaps(job.hazard)
-            )
+        """Attach the keep-out set: foreign droplets near the hazard zone,
+        plus (when reconfiguration is active) quarantined silicon.
+
+        A quarantine keep-out can swallow most of a tight hazard zone and
+        leave no in-zone corridor around it, so whenever one attaches, the
+        zone is widened to clear the keep-out by a full droplet span plus
+        clearance on every side (clamped to the chip) — the detour the
+        obstacle forces must lie inside the modelled region.
+        """
+        hazard = job.hazard
+        qmap = self._qmap
+        extra: list[Rect] = []
+        if qmap is not None and qmap.cells:
+            # Quarantine rectangles become keep-outs, except ones touching
+            # the job's endpoints — those would make the job unroutable,
+            # and the endpoints' viability is the remapper's concern.
+            extra = [
+                qr for qr in qmap.rects()
+                if qr.overlaps(hazard)
+                and not qr.adjacent_or_overlapping(job.goal)
+                and (is_off_chip(job.start)
+                     or not qr.adjacent_or_overlapping(job.start))
+            ]
+            if extra:
+                span = max(job.goal.width, job.goal.height) + 2
+                for qr in extra:
+                    grown = qr.expanded(span)
+                    hazard = Rect(
+                        max(1, min(hazard.xa, grown.xa)),
+                        max(1, min(hazard.ya, grown.ya)),
+                        min(self.width, max(hazard.xb, grown.xb)),
+                        min(self.height, max(hazard.yb, grown.yb)),
+                    )
+        obstacles = sorted(
+            rect
+            for did, rect in self.droplets.items()
+            if self._owner.get(did) != owner
+            and rect.expanded(2).overlaps(hazard)
         )
-        return job.with_obstacles(obstacles)
+        if extra:
+            obstacles = sorted(obstacles + extra)
+        if hazard == job.hazard:
+            return job.with_obstacles(tuple(obstacles))
+        return RoutingJob(job.start, job.goal, hazard, tuple(obstacles))
 
     def _hold_job(self, rect: Rect) -> RoutingJob:
         """A degenerate stay-where-you-are job (used for operate phases)."""

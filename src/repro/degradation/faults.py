@@ -137,3 +137,71 @@ def no_faults(width: int, height: int) -> FaultPlan:
         faulty=np.zeros((width, height), dtype=bool),
         fail_at=np.full((width, height), np.inf),
     )
+
+
+def dead_column_plan(
+    width: int,
+    height: int,
+    column: int,
+    n_columns: int = 6,
+    y_span: tuple[int, int] | None = None,
+    fail_at: float = 0,
+) -> FaultPlan:
+    """A deterministic dead-column scenario (column-driver bank failure).
+
+    Kills ``n_columns`` adjacent electrode columns starting at the 1-based
+    ``column``, over ``y_span`` (1-based inclusive rows; default leaves
+    routing corridors along the north and south edges so droplets can
+    detour around the dead stripe).  A stripe as wide as a module pattern
+    makes any module goal inside it *unreachable* — every pulling frontier
+    of an arriving move is dead — while a single dead line would merely be
+    straddled.  All affected MCs fail at the same ``fail_at`` actuation
+    count; 0 means dead from the start.
+    """
+    if n_columns < 1:
+        raise ValueError(f"need at least one dead column, got {n_columns}")
+    if not 1 <= column <= width - n_columns + 1:
+        raise ValueError(
+            f"columns {column}..{column + n_columns - 1} outside a "
+            f"{width}-wide chip"
+        )
+    if y_span is None:
+        margin = max(7, height // 4)
+        y_span = (1 + margin, height - margin)
+    ya, yb = y_span
+    if not (1 <= ya <= yb <= height):
+        raise ValueError(f"invalid y span {y_span} for height {height}")
+    faulty = np.zeros((width, height), dtype=bool)
+    faulty[column - 1 : column - 1 + n_columns, ya - 1 : yb] = True
+    fail = np.full((width, height), np.inf)
+    fail[faulty] = fail_at
+    return FaultPlan(faulty=faulty, fail_at=fail)
+
+
+def dead_cluster_plan(
+    width: int,
+    height: int,
+    centers: list[tuple[float, float]],
+    size: int = 8,
+    fail_at: float = 0,
+) -> FaultPlan:
+    """A deterministic clustered-fault scenario: dead ``size x size``
+    blocks centered on the given (x, y) chip coordinates (module-slot
+    centers, typically), clamped to the chip.  The default size covers a
+    6x6 module pattern plus a 1-MC margin, so every droplet pattern a
+    module at the center could form — and every frontier that could pull
+    one into place — is dead.  All affected MCs share one ``fail_at``
+    actuation count.
+    """
+    if size < 1:
+        raise ValueError(f"cluster size must be positive, got {size}")
+    faulty = np.zeros((width, height), dtype=bool)
+    for cx, cy in centers:
+        x0 = int(cx - size / 2)
+        y0 = int(cy - size / 2)
+        x0 = min(max(x0, 0), max(width - size, 0))
+        y0 = min(max(y0, 0), max(height - size, 0))
+        faulty[x0 : x0 + size, y0 : y0 + size] = True
+    fail = np.full((width, height), np.inf)
+    fail[faulty] = fail_at
+    return FaultPlan(faulty=faulty, fail_at=fail)

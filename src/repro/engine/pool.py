@@ -429,6 +429,24 @@ class SynthesisEngine:
             self._tenants.add(name)
         return TenantView(self, name)
 
+    def invalidate(self, job: "RoutingJob", tenant: str = "") -> bool:
+        """Discard any in-flight speculation for ``job`` (any fingerprint).
+
+        Placement remapping retires a routing job wholesale — its key can
+        never be requested again, so letting the speculation linger would
+        only hold an in-flight slot until the deadline reaper finds it.
+        The persistent store needs no invalidation: entries are keyed by
+        job geometry plus health fingerprint, and a retired key is simply
+        never looked up.  Returns whether a speculation was discarded.
+        """
+        with self._lock:
+            key = self._by_job.get((tenant, job.key()))
+            if key is None:
+                return False
+            self._discard(key)
+        perf.incr("engine.prefetch.invalidated")
+        return True
+
     def release_tenant(self, name: str) -> None:
         """Deregister a tenant, discarding its in-flight speculations."""
         with self._lock:
@@ -1194,6 +1212,9 @@ class TenantView:
         self, job: RoutingJob, health: np.ndarray
     ) -> tuple[str, RoutingStrategy | None]:
         return self._engine.take(job, health, tenant=self.name)
+
+    def invalidate(self, job: RoutingJob) -> bool:
+        return self._engine.invalidate(job, tenant=self.name)
 
     def presynthesize_batch(
         self,

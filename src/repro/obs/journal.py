@@ -70,6 +70,20 @@ ENGINE_EVENTS = (
     "engine.degraded.observed",
 )
 
+#: Event names the reconfiguration layer (``repro.reconfig``) emits:
+#:
+#: * ``reconfig.quarantine`` — the quarantine map changed (``cycle``,
+#:   ``version``, ``cells``, ``rects`` — up to the first 8 rectangles as
+#:   1-based inclusive ``(xa, ya, xb, yb)`` tuples);
+#: * ``reconfig.remap`` — a module placement was (or failed to be)
+#:   relocated off quarantined silicon (``cycle``, ``mo``, ``success``;
+#:   on success also ``from_locs``, ``to_locs`` and the quarantine-map
+#:   ``version`` that triggered the remap).
+RECONFIG_EVENTS = (
+    "reconfig.quarantine",
+    "reconfig.remap",
+)
+
 
 #: Thread-local stack of correlation-field dicts (see :func:`journal_scope`).
 _scope_local = threading.local()

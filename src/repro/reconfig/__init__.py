@@ -1,0 +1,15 @@
+"""Reconfiguration layer: quarantine maps and placement remapping.
+
+Sits between the degradation model and the scheduler.  The paper's
+adaptivity re-synthesizes routes *within* a fixed placement; this package
+adds the space-redundancy layer from the fault-tolerance literature
+(Su/Chakrabarty/Pamula's local reconfiguration): dead silicon is
+quarantined, module slots whose zones are quarantined are remapped to
+spare slots, and an optional wear-leveling mode spreads placements by
+accumulated actuation load.
+"""
+
+from repro.reconfig.quarantine import QuarantineMap, quarantine_mask
+from repro.reconfig.policy import ReconfigPolicy
+
+__all__ = ["QuarantineMap", "quarantine_mask", "ReconfigPolicy"]

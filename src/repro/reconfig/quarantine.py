@@ -1,0 +1,117 @@
+"""Hazard-zone quarantine maps derived from the chip health array.
+
+A microelectrode whose quantized health falls below the viability
+threshold cannot reliably move a droplet; any droplet pattern overlapping
+it risks a no-route failure (the MDP assigns it zero transition
+probability).  The quarantine map marks those cells — dilated by a guard
+band so droplets keep a merge-safe distance from dying silicon — and
+exposes them as rectangles the scheduler can inject as routing obstacles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+#: Health levels strictly below this are quarantined (0 = outright dead).
+MIN_HEALTH = 1
+
+#: Chebyshev radius of the guard band dilated around quarantined cells.
+GUARD_BAND = 1
+
+
+def _dilate(mask: np.ndarray, radius: int) -> np.ndarray:
+    """Chebyshev (8-neighbour) dilation of a boolean mask by ``radius``."""
+    if radius <= 0 or not mask.any():
+        return mask.copy()
+    w, h = mask.shape
+    padded = np.zeros((w + 2 * radius, h + 2 * radius), dtype=bool)
+    padded[radius:radius + w, radius:radius + h] = mask
+    out = mask.copy()
+    for dx in range(-radius, radius + 1):
+        for dy in range(-radius, radius + 1):
+            if dx == 0 and dy == 0:
+                continue
+            out |= padded[radius + dx:radius + dx + w,
+                          radius + dy:radius + dy + h]
+    return out
+
+
+def quarantine_mask(
+    health: np.ndarray,
+    min_health: int = MIN_HEALTH,
+    guard: int = GUARD_BAND,
+) -> np.ndarray:
+    """Boolean ``(width, height)`` mask of quarantined cells."""
+    return _dilate(np.asarray(health) < min_health, guard)
+
+
+def mask_rects(mask: np.ndarray) -> tuple[Rect, ...]:
+    """Greedy decomposition of a boolean mask into disjoint rectangles.
+
+    Merges identical per-column runs of set cells across adjacent columns,
+    so axis-aligned fault shapes (dead columns, square clusters) come back
+    as single rectangles.  Coordinates are 1-based inclusive like
+    :class:`Rect`.
+    """
+    rects: list[Rect] = []
+    open_runs: dict[tuple[int, int], int] = {}
+    width, height = mask.shape
+    for x in range(width + 1):
+        runs: set[tuple[int, int]] = set()
+        if x < width:
+            col = mask[x]
+            y = 0
+            while y < height:
+                if col[y]:
+                    y0 = y
+                    while y < height and col[y]:
+                        y += 1
+                    runs.add((y0, y - 1))
+                else:
+                    y += 1
+        for run in [r for r in open_runs if r not in runs]:
+            xa = open_runs.pop(run)
+            rects.append(Rect(xa + 1, run[0] + 1, x, run[1] + 1))
+        for run in runs:
+            open_runs.setdefault(run, x)
+    return tuple(sorted(rects))
+
+
+@dataclass(frozen=True)
+class QuarantineMap:
+    """An immutable snapshot of the quarantined region of the chip.
+
+    ``version`` increments every time the mask changes over a policy's
+    lifetime, letting the scheduler re-check placements exactly once per
+    map change instead of every cycle.
+    """
+
+    mask: np.ndarray
+    version: int
+    min_health: int = MIN_HEALTH
+    guard: int = GUARD_BAND
+    _rects: list = field(default_factory=list, repr=False, compare=False)
+
+    @property
+    def cells(self) -> int:
+        """Number of quarantined microelectrodes."""
+        return int(self.mask.sum())
+
+    def overlaps(self, rect: Rect) -> bool:
+        """Does ``rect`` (clamped to the chip) cover a quarantined cell?"""
+        w, h = self.mask.shape
+        x0, x1 = max(0, rect.xa - 1), min(w, rect.xb)
+        y0, y1 = max(0, rect.ya - 1), min(h, rect.yb)
+        if x0 >= x1 or y0 >= y1:
+            return False
+        return bool(self.mask[x0:x1, y0:y1].any())
+
+    def rects(self) -> tuple[Rect, ...]:
+        """Quarantined region as disjoint rectangles (cached)."""
+        if not self._rects:
+            self._rects.append(mask_rects(self.mask))
+        return self._rects[0]

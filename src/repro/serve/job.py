@@ -135,7 +135,8 @@ class AssayJob:
     spec: AssaySpec
     id: str = field(default_factory=next_job_id)
     state: str = QUEUED
-    submitted_at: float = field(default_factory=time.monotonic)
+    #: Wall-clock timestamps (``time.time``) — what HTTP clients see.
+    submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None
     result: dict[str, Any] | None = None
@@ -147,6 +148,24 @@ class AssayJob:
         self._dropped = 0
         self._events_lock = threading.Lock()
         self._done = threading.Event()
+        # Monotonic twins of the wall-clock timestamps: durations must not
+        # jump when NTP steps the system clock mid-job.
+        self._submitted_mono = time.monotonic()
+        self._started_mono: float | None = None
+        self._finished_mono: float | None = None
+
+    # -- lifecycle timestamps --------------------------------------------
+
+    def mark_started(self) -> None:
+        """Stamp the start on both clocks (wall for clients, mono for
+        durations)."""
+        self.started_at = time.time()
+        self._started_mono = time.monotonic()
+
+    def mark_finished(self) -> None:
+        """Stamp the finish on both clocks."""
+        self.finished_at = time.time()
+        self._finished_mono = time.monotonic()
 
     # -- terminal-state signalling (HTTP long-poll) ----------------------
 
@@ -188,14 +207,19 @@ class AssayJob:
             "id": self.id,
             "state": self.state,
             "spec": self.spec.to_dict(),
+            "submitted_at": round(self.submitted_at, 6),
         }
         if self.started_at is not None:
+            document["started_at"] = round(self.started_at, 6)
+        if self.finished_at is not None:
+            document["finished_at"] = round(self.finished_at, 6)
+        if self._started_mono is not None:
             document["queued_ms"] = round(
-                (self.started_at - self.submitted_at) * 1e3, 3
+                (self._started_mono - self._submitted_mono) * 1e3, 3
             )
-        if self.finished_at is not None and self.started_at is not None:
+        if self._finished_mono is not None and self._started_mono is not None:
             document["run_ms"] = round(
-                (self.finished_at - self.started_at) * 1e3, 3
+                (self._finished_mono - self._started_mono) * 1e3, 3
             )
         if self.result is not None:
             document["result"] = self.result

@@ -124,7 +124,7 @@ class AssayScheduler:
             self._inflight += 1
             perf.set_gauge("serve.jobs.inflight", float(self._inflight))
         job.state = RUNNING
-        job.started_at = time.monotonic()
+        job.mark_started()
         view = self.engine.tenant(job.id) if self.engine is not None else None
         outcome: AssayOutcome | None = None
         try:
@@ -158,7 +158,7 @@ class AssayScheduler:
         finally:
             if view is not None:
                 view.close()
-            job.finished_at = time.monotonic()
+            job.mark_finished()
             job.mark_done()
             if self.on_finish is not None:
                 try:

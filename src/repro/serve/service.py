@@ -34,7 +34,6 @@ from __future__ import annotations
 
 import json
 import threading
-import time
 from typing import Any
 
 from repro import obs, perf
@@ -206,7 +205,7 @@ class ServeService:
             for job in self.queue.drain():
                 job.state = REJECTED
                 job.error = "cancelled: drain deadline expired before start"
-                job.finished_at = time.monotonic()
+                job.mark_finished()
                 job.mark_done()
                 rejected += 1
                 perf.incr("serve.jobs.rejected")

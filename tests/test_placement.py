@@ -1,0 +1,163 @@
+"""Placement invariants: every library assay (and seeded random graphs)
+must place with in-bounds, pairwise-disjoint module slots and
+dispense/exit ports — with and without quarantined zones."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bioassay.library import ALL_BIOASSAYS
+from repro.bioassay.ops import MO, MOType
+from repro.bioassay.planner import plan
+from repro.bioassay.seqgraph import SequencingGraph
+from repro.core.routing_job import RJHelper
+from repro.geometry.rect import Rect
+from repro.reconfig import ReconfigPolicy
+
+CHIPS = [(60, 30), (40, 24)]
+SLOT_TYPES = (MOType.MIX, MOType.DLT, MOType.SPT, MOType.MAG)
+
+
+def _placement_rects(graph: SequencingGraph, width: int, height: int):
+    """(dispense ports, exit ports, slot footprints) of a placed graph."""
+    helper = RJHelper(width, height)
+    dispense, exits, slots = [], [], []
+    for mo in graph.mos:
+        dec = helper.decompose(mo)
+        if mo.type is MOType.DIS:
+            dispense.extend(j.goal for j in dec.jobs)
+        elif mo.type in (MOType.OUT, MOType.DSC):
+            exits.extend(j.goal for j in dec.jobs)
+        elif mo.type in SLOT_TYPES:
+            for x, y in mo.locs:
+                slots.append(Rect(int(x) - 2, int(y) - 2,
+                                  int(x) + 3, int(y) + 3))
+    return dispense, exits, slots
+
+
+def _assert_invariants(graph, width, height):
+    dispense, exits, slots = _placement_rects(graph, width, height)
+    chip = Rect(1, 1, width, height)
+    for rect in dispense + exits + slots:
+        assert chip.contains(rect), f"{rect} escapes the {width}x{height} chip"
+    for group, rects in (("dispense", dispense), ("exit", exits)):
+        for i, a in enumerate(rects):
+            for b in rects[i + 1:]:
+                assert not a.overlaps(b), \
+                    f"{group} ports {a} and {b} overlap on {width}x{height}"
+    # Slots may be reused across *sequential* operations (the scheduler
+    # serializes conflicting activations), but every slot footprint must
+    # stay clear of the edge ports: a module droplet mid-operation must
+    # never sit on a dispense or exit pattern.
+    for slot in slots:
+        for port in dispense + exits:
+            assert not slot.overlaps(port), \
+                f"slot {slot} overlaps port {port} on {width}x{height}"
+    # Distinct slot MOs never share a slot with a *concurrent* sibling:
+    # two slot MOs with no ancestor path between them must not collide.
+    names = {mo.name: mo for mo in graph.mos}
+    slot_mos = [mo for mo in graph.mos if mo.type in SLOT_TYPES]
+
+    def ancestors(mo):
+        seen, stack = set(), list(mo.pre)
+        while stack:
+            pred = stack.pop()
+            if pred not in seen:
+                seen.add(pred)
+                stack.extend(names[pred].pre)
+        return seen
+
+    lineage = {mo.name: ancestors(mo) for mo in slot_mos}
+    for i, a in enumerate(slot_mos):
+        for b in slot_mos[i + 1:]:
+            related = (a.name in lineage[b.name]
+                       or b.name in lineage[a.name])
+            if not related and set(a.locs) & set(b.locs):
+                raise AssertionError(
+                    f"concurrent MOs {a.name} and {b.name} share a slot"
+                )
+
+
+class TestLibraryPlacements:
+    @pytest.mark.parametrize("name", sorted(ALL_BIOASSAYS))
+    @pytest.mark.parametrize("size", CHIPS)
+    def test_assay_places_disjoint(self, name, size):
+        width, height = size
+        graph = plan(ALL_BIOASSAYS[name](), width, height)
+        _assert_invariants(graph, width, height)
+
+
+def _random_graph(seed: int) -> SequencingGraph:
+    """A seeded random mix tree: N dispenses pooled pairwise to one out."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 7))
+    mos = [MO(name=f"d{i}", type=MOType.DIS, size=(4, 4)) for i in range(n)]
+    frontier = [f"d{i}" for i in range(n)]
+    k = 0
+    while len(frontier) > 1:
+        a = frontier.pop(int(rng.integers(len(frontier))))
+        b = frontier.pop(int(rng.integers(len(frontier))))
+        name = f"m{k}"
+        mos.append(MO(name=name, type=MOType.MIX, pre=(a, b), hold_cycles=4))
+        frontier.append(name)
+        k += 1
+    mos.append(MO(name="out", type=MOType.OUT, pre=(frontier[0],),
+                  pre_output=(0,)))
+    return SequencingGraph(f"random-{seed}", mos)
+
+
+class TestRandomGraphPlacements:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_graph_places_disjoint(self, seed):
+        width, height = 60, 30
+        graph = plan(_random_graph(seed), width, height)
+        _assert_invariants(graph, width, height)
+
+    def test_port_exhaustion_raises_cleanly(self):
+        # Enough dispenses to overflow both the south and north edges of a
+        # narrow chip must raise, not silently stack ports on top of each
+        # other (the pre-fix clamping bug).
+        mos = [MO(name=f"d{i}", type=MOType.DIS, size=(4, 4))
+               for i in range(40)]
+        frontier = [mo.name for mo in mos]
+        k = 0
+        while len(frontier) > 1:
+            a, b = frontier.pop(0), frontier.pop(0)
+            mos.append(MO(name=f"m{k}", type=MOType.MIX, pre=(a, b),
+                          hold_cycles=4))
+            frontier.append(f"m{k}")
+            k += 1
+        mos.append(MO(name="out", type=MOType.OUT, pre=(frontier[0],),
+                      pre_output=(0,)))
+        with pytest.raises(ValueError, match="reservoir port"):
+            plan(SequencingGraph("overflow", mos), 24, 16)
+
+
+class TestQuarantinedPlacements:
+    @pytest.mark.parametrize("name", sorted(ALL_BIOASSAYS))
+    def test_remapped_assay_stays_valid(self, name):
+        width, height = 60, 30
+        graph = plan(ALL_BIOASSAYS[name](), width, height)
+        slot_mos = [mo for mo in graph.mos if mo.type in SLOT_TYPES]
+        if not slot_mos:
+            pytest.skip("assay has no module slots")
+        target = slot_mos[0]
+        health = np.full((width, height), 3)
+        x, y = target.locs[0]
+        health[max(0, int(x) - 4):int(x) + 4,
+               max(0, int(y) - 4):int(y) + 4] = 0
+
+        policy = ReconfigPolicy(width, height)
+        policy.seed_placement(graph.mos)
+        qmap = policy.update(health)
+        helper = RJHelper(width, height)
+        for mo in graph.mos:
+            helper.decompose(mo)
+        new = policy.remap(target, target.locs[0], health, helper)
+        assert new is not None, f"{name}: no spare slot for {target.name}"
+        assert not policy.placement_tainted(new)
+        chip = Rect(1, 1, width, height)
+        for rect in [j.goal for j in new.jobs] + list(new.output_patterns):
+            assert chip.contains(rect)
+            assert not qmap.overlaps(rect)

@@ -113,6 +113,34 @@ class TestAssaySpec:
             AssaySpec(max_cycles=0).validate()
 
 
+class TestJobTimestamps:
+    def test_payload_reports_wall_clock_not_monotonic(self):
+        # Monotonic-clock values (seconds since boot) leaking into HTTP
+        # payloads read as bogus wall-clock times; the document must carry
+        # epoch timestamps plus monotonic-derived durations.
+        before = time.time()
+        job = AssayJob(spec=AssaySpec(bioassay="master-mix"))
+        job.mark_started()
+        job.mark_finished()
+        after = time.time()
+        document = job.to_dict()
+        for key in ("submitted_at", "started_at", "finished_at"):
+            assert before - 1 <= document[key] <= after + 1, \
+                f"{key}={document[key]} is not a wall-clock timestamp"
+        assert document["submitted_at"] <= document["started_at"]
+        assert document["started_at"] <= document["finished_at"]
+        assert document["queued_ms"] >= 0
+        assert document["run_ms"] >= 0
+
+    def test_unstarted_job_has_no_durations(self):
+        document = AssayJob(spec=AssaySpec(bioassay="master-mix")).to_dict()
+        assert "queued_ms" not in document
+        assert "run_ms" not in document
+        assert "started_at" not in document
+        assert "finished_at" not in document
+        assert document["submitted_at"] > 0
+
+
 @pytest.mark.skipif(WORKERS < 2, reason="needs a worker pool")
 class TestFairShare:
     def test_second_tenant_shrinks_the_share(self):
